@@ -1,0 +1,45 @@
+//! E13 wall-clock throughput of the base algorithms (Criterion).
+//!
+//! Cost-model experiments live in the `experiments` binary; these benches
+//! measure operations per second of each structure on two canonical
+//! workloads (uniform random inserts and hammer inserts).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use lll_adaptive::AdaptiveBuilder;
+use lll_classic::ClassicBuilder;
+use lll_core::traits::{LabelingBuilder, ListLabeling};
+use lll_deamortized::DeamortizedBuilder;
+use lll_randomized::RandomizedBuilder;
+use lll_workloads::{hammer_inserts, uniform_random_inserts, Workload};
+
+fn run_workload_bench<B: LabelingBuilder>(b: &B, w: &Workload) {
+    let mut s = b.build_default(w.peak);
+    for &op in &w.ops {
+        criterion::black_box(s.apply(op).cost());
+    }
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let n = 1 << 12;
+    let workloads = [uniform_random_inserts(n, 7), hammer_inserts(n, 0)];
+    let mut g = c.benchmark_group("baselines");
+    g.sample_size(10);
+    for w in &workloads {
+        g.bench_with_input(BenchmarkId::new("classic", &w.name), w, |bch, w| {
+            bch.iter_batched(|| (), |_| run_workload_bench(&ClassicBuilder, w), BatchSize::PerIteration)
+        });
+        g.bench_with_input(BenchmarkId::new("adaptive", &w.name), w, |bch, w| {
+            bch.iter_batched(|| (), |_| run_workload_bench(&AdaptiveBuilder::default(), w), BatchSize::PerIteration)
+        });
+        g.bench_with_input(BenchmarkId::new("randomized", &w.name), w, |bch, w| {
+            bch.iter_batched(|| (), |_| run_workload_bench(&RandomizedBuilder::with_seed(1), w), BatchSize::PerIteration)
+        });
+        g.bench_with_input(BenchmarkId::new("deamortized", &w.name), w, |bch, w| {
+            bch.iter_batched(|| (), |_| run_workload_bench(&DeamortizedBuilder::default(), w), BatchSize::PerIteration)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,297 @@
+//! Fenwick (binary indexed) trees over slot positions.
+//!
+//! Every structure in this workspace needs O(log m) answers to:
+//!
+//! * `prefix(p)` — how many marked positions are `< p`?
+//! * `select(k)` — where is the k-th (0-based) marked position?
+//!
+//! used for rank ↔ position navigation over occupancy bitmaps, slot-tag
+//! counts, and the embedding's three parallel slot taxonomies.
+
+/// A Fenwick tree over `len` positions holding small non-negative counts
+/// (in this workspace: 0/1 occupancy marks).
+#[derive(Clone, Debug)]
+pub struct Fenwick {
+    tree: Vec<u32>,
+    len: usize,
+    /// Largest power of two ≤ len, cached for `select`.
+    top_pow: usize,
+    total: u64,
+}
+
+impl Fenwick {
+    /// An all-zero tree over `len` positions.
+    pub fn new(len: usize) -> Self {
+        let mut top_pow = 1;
+        while top_pow * 2 <= len {
+            top_pow *= 2;
+        }
+        Self { tree: vec![0; len + 1], len, top_pow, total: 0 }
+    }
+
+    /// Build from a 0/1 iterator in O(n).
+    pub fn from_bits<I: IntoIterator<Item = bool>>(len: usize, bits: I) -> Self {
+        let mut f = Self::new(len);
+        for (i, b) in bits.into_iter().enumerate().take(len) {
+            if b {
+                f.add(i, 1);
+            }
+        }
+        f
+    }
+
+    /// Number of positions the tree covers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the tree covers zero positions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sum of all counts.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Add `delta` (may be negative) to position `pos`.
+    #[inline]
+    pub fn add(&mut self, pos: usize, delta: i32) {
+        debug_assert!(pos < self.len, "fenwick add out of range: {pos} >= {}", self.len);
+        self.total = (self.total as i64 + delta as i64) as u64;
+        let mut i = pos + 1;
+        while i <= self.len {
+            self.tree[i] = (self.tree[i] as i64 + delta as i64) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Count of marks at positions strictly less than `pos`.
+    #[inline]
+    pub fn prefix(&self, pos: usize) -> u64 {
+        let mut i = pos.min(self.len);
+        let mut s = 0u64;
+        while i > 0 {
+            s += self.tree[i] as u64;
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Count of marks in the half-open range `[a, b)`.
+    #[inline]
+    pub fn range(&self, a: usize, b: usize) -> u64 {
+        if a >= b {
+            return 0;
+        }
+        self.prefix(b) - self.prefix(a)
+    }
+
+    /// Position of the k-th (0-based) marked position; `None` if `k >= total`.
+    ///
+    /// Assumes all counts are 0/1 (true throughout this workspace).
+    pub fn select(&self, k: u64) -> Option<usize> {
+        if k >= self.total {
+            return None;
+        }
+        let mut pos = 0usize;
+        let mut rem = k + 1; // we search for the first prefix ≥ k+1
+        let mut step = self.top_pow;
+        while step > 0 {
+            let next = pos + step;
+            if next <= self.len && (self.tree[next] as u64) < rem {
+                rem -= self.tree[next] as u64;
+                pos = next;
+            }
+            step >>= 1;
+        }
+        // pos is the count of positions with prefix < k+1; the mark is at index pos.
+        Some(pos)
+    }
+
+    /// The first marked position at or after `pos`, if any.
+    pub fn next_marked_at_or_after(&self, pos: usize) -> Option<usize> {
+        let before = self.prefix(pos);
+        self.select(before)
+    }
+
+    /// The last marked position at or before `pos`, if any.
+    pub fn prev_marked_at_or_before(&self, pos: usize) -> Option<usize> {
+        let upto = self.prefix(pos.saturating_add(1).min(self.len));
+        // Account for pos >= len: clamp.
+        let upto = if pos + 1 >= self.len { self.total } else { upto };
+        if upto == 0 {
+            None
+        } else {
+            self.select(upto - 1)
+        }
+    }
+
+    /// The first UNmarked position at or after `pos` (within bounds), if any.
+    ///
+    /// Binary search over prefix sums of the complement; O(log² m) worst
+    /// case, used on cold paths only.
+    pub fn next_unmarked_at_or_after(&self, pos: usize) -> Option<usize> {
+        if pos >= self.len {
+            return None;
+        }
+        let zeros_before = pos as u64 - self.prefix(pos);
+        // find smallest q in [pos, len) with (q+1 - prefix(q+1)) > zeros_before
+        let (mut lo, mut hi) = (pos, self.len);
+        // invariant: answer in [lo, hi) if it exists
+        let total_zeros = self.len as u64 - self.total;
+        if zeros_before >= total_zeros {
+            return None;
+        }
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let zeros_through_mid = (mid as u64 + 1) - self.prefix(mid + 1);
+            if zeros_through_mid > zeros_before {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Some(lo)
+    }
+
+    /// The last UNmarked position at or before `pos`, if any.
+    pub fn prev_unmarked_at_or_before(&self, pos: usize) -> Option<usize> {
+        let pos = pos.min(self.len.saturating_sub(1));
+        let zeros_through = (pos as u64 + 1) - self.prefix(pos + 1);
+        if zeros_through == 0 {
+            return None;
+        }
+        // find largest q ≤ pos that is unmarked: binary search for the
+        // zeros_through-th zero (0-based index zeros_through-1)
+        let target = zeros_through - 1;
+        let (mut lo, mut hi) = (0usize, pos + 1);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let zeros_before_mid = mid as u64 - self.prefix(mid);
+            if zeros_before_mid > target {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        // lo-1 is the position where the target-th zero lives
+        Some(lo - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn marked(f: &Fenwick) -> Vec<usize> {
+        (0..f.len()).filter(|&i| f.range(i, i + 1) == 1).collect()
+    }
+
+    #[test]
+    fn add_prefix_roundtrip() {
+        let mut f = Fenwick::new(10);
+        f.add(3, 1);
+        f.add(7, 1);
+        f.add(9, 1);
+        assert_eq!(f.prefix(0), 0);
+        assert_eq!(f.prefix(4), 1);
+        assert_eq!(f.prefix(8), 2);
+        assert_eq!(f.prefix(10), 3);
+        assert_eq!(f.total(), 3);
+        f.add(7, -1);
+        assert_eq!(f.prefix(10), 2);
+    }
+
+    #[test]
+    fn select_finds_kth() {
+        let mut f = Fenwick::new(16);
+        for p in [0, 5, 6, 12, 15] {
+            f.add(p, 1);
+        }
+        assert_eq!(f.select(0), Some(0));
+        assert_eq!(f.select(1), Some(5));
+        assert_eq!(f.select(2), Some(6));
+        assert_eq!(f.select(3), Some(12));
+        assert_eq!(f.select(4), Some(15));
+        assert_eq!(f.select(5), None);
+    }
+
+    #[test]
+    fn select_on_non_power_of_two() {
+        let mut f = Fenwick::new(13);
+        for p in [1, 2, 11, 12] {
+            f.add(p, 1);
+        }
+        assert_eq!(f.select(3), Some(12));
+        assert_eq!(marked(&f), vec![1, 2, 11, 12]);
+    }
+
+    #[test]
+    fn neighbors_marked() {
+        let mut f = Fenwick::new(10);
+        for p in [2, 5, 8] {
+            f.add(p, 1);
+        }
+        assert_eq!(f.next_marked_at_or_after(0), Some(2));
+        assert_eq!(f.next_marked_at_or_after(3), Some(5));
+        assert_eq!(f.next_marked_at_or_after(9), None);
+        assert_eq!(f.prev_marked_at_or_before(9), Some(8));
+        assert_eq!(f.prev_marked_at_or_before(4), Some(2));
+        assert_eq!(f.prev_marked_at_or_before(1), None);
+    }
+
+    #[test]
+    fn neighbors_unmarked() {
+        let mut f = Fenwick::new(6);
+        for p in [0, 1, 2, 4] {
+            f.add(p, 1);
+        }
+        assert_eq!(f.next_unmarked_at_or_after(0), Some(3));
+        assert_eq!(f.next_unmarked_at_or_after(4), Some(5));
+        assert_eq!(f.prev_unmarked_at_or_before(5), Some(5));
+        assert_eq!(f.prev_unmarked_at_or_before(4), Some(3));
+        assert_eq!(f.prev_unmarked_at_or_before(2), None);
+        let full = Fenwick::from_bits(3, [true, true, true]);
+        assert_eq!(full.next_unmarked_at_or_after(0), None);
+    }
+
+    #[test]
+    fn from_bits_matches_adds() {
+        let bits = [true, false, true, true, false];
+        let f = Fenwick::from_bits(5, bits.iter().copied());
+        assert_eq!(marked(&f), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn randomized_against_naive() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..100);
+            let mut naive = vec![false; n];
+            let mut f = Fenwick::new(n);
+            for _ in 0..200 {
+                let p = rng.gen_range(0..n);
+                if naive[p] {
+                    naive[p] = false;
+                    f.add(p, -1);
+                } else {
+                    naive[p] = true;
+                    f.add(p, 1);
+                }
+            }
+            let marks: Vec<usize> =
+                (0..n).filter(|&i| naive[i]).collect();
+            assert_eq!(marked(&f), marks);
+            for (k, &p) in marks.iter().enumerate() {
+                assert_eq!(f.select(k as u64), Some(p));
+            }
+            assert_eq!(f.select(marks.len() as u64), None);
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Dynamic capacity on top of fixed-capacity list labeling.
+//!
+//! Definition 1 of the paper fixes the capacity `n` in advance — the right
+//! setting for the theory, but a library user wants a structure that grows.
+//! [`Growable`] wraps any [`LabelingBuilder`] with the standard global
+//! doubling/halving technique: when the inner structure fills, rebuild into
+//! one of twice the capacity (and shrink at quarter load). Each element
+//! keeps a **stable handle** across rebuilds, so applications can hold
+//! references to elements without tracking migrations.
+//!
+//! Rebuild costs amortize: a rebuild of size `n` happens only after Ω(n)
+//! operations, adding amortized O(polylog n) per operation on top of the
+//! inner structure's own bound (the appends performed during the rebuild
+//! are the inner structure's cheapest workload).
+
+use crate::ids::{ElemId, IdGen};
+use crate::ops::Op;
+use crate::traits::{LabelingBuilder, ListLabeling};
+use std::collections::HashMap;
+
+/// A stable, rebuild-surviving element handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Handle(pub u64);
+
+/// Statistics for the growth machinery.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GrowableStats {
+    /// Rebuilds that grew the structure.
+    pub grows: u64,
+    /// Rebuilds that shrank the structure.
+    pub shrinks: u64,
+    /// Total element moves spent inside rebuilds.
+    pub rebuild_moves: u64,
+}
+
+/// A dynamically sized sorted list over any list-labeling algorithm.
+pub struct Growable<B: LabelingBuilder> {
+    builder: B,
+    inner: B::Structure,
+    /// inner element id → stable handle.
+    handle_of: HashMap<ElemId, Handle>,
+    ids: IdGen,
+    min_capacity: usize,
+    stats: GrowableStats,
+    /// Moves performed by ordinary operations (not rebuilds).
+    op_moves: u64,
+}
+
+impl<B: LabelingBuilder> Growable<B> {
+    /// New empty list with an initial capacity floor.
+    pub fn new(builder: B, initial_capacity: usize) -> Self {
+        let cap = initial_capacity.max(16);
+        let inner = builder.build_default(cap);
+        Self {
+            builder,
+            inner,
+            handle_of: HashMap::new(),
+            ids: IdGen::new(),
+            min_capacity: cap,
+            stats: GrowableStats::default(),
+            op_moves: 0,
+        }
+    }
+
+    /// Current element count.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Current capacity (changes across rebuilds).
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    /// Growth statistics.
+    pub fn stats(&self) -> GrowableStats {
+        self.stats
+    }
+
+    /// Total element moves from ordinary operations (rebuild moves are
+    /// tracked separately in [`GrowableStats`]).
+    pub fn op_moves(&self) -> u64 {
+        self.op_moves
+    }
+
+    /// The label (slot position) of the element of `rank`. Labels are only
+    /// stable between operations, as in any list-labeling structure.
+    pub fn label_of_rank(&self, rank: usize) -> usize {
+        self.inner.label_of_rank(rank)
+    }
+
+    /// The handle of the element of `rank`.
+    pub fn handle_at_rank(&self, rank: usize) -> Handle {
+        self.handle_of[&self.inner.elem_at_rank(rank)]
+    }
+
+    /// Current rank of a handle, or `None` if it was deleted. O(len) scan;
+    /// applications needing faster reverse lookups should maintain them
+    /// from operation reports (see the `order_maintenance` example).
+    pub fn rank_of(&self, h: Handle) -> Option<usize> {
+        (0..self.len()).find(|&r| self.handle_at_rank(r) == h)
+    }
+
+    /// Rebuild into a structure of the given capacity, preserving order and
+    /// handles.
+    fn rebuild(&mut self, new_capacity: usize) {
+        let order: Vec<Handle> =
+            (0..self.len()).map(|r| self.handle_of[&self.inner.elem_at_rank(r)]).collect();
+        let mut fresh = self.builder.build_default(new_capacity);
+        let mut handle_of = HashMap::with_capacity(order.len());
+        for (r, &h) in order.iter().enumerate() {
+            let rep = fresh.insert(r); // append: the cheapest insertion path
+            self.stats.rebuild_moves += rep.cost();
+            handle_of.insert(rep.placed.expect("insert places").0, h);
+        }
+        self.inner = fresh;
+        self.handle_of = handle_of;
+    }
+
+    /// Insert a new element at `rank`, growing if necessary.
+    pub fn insert(&mut self, rank: usize) -> Handle {
+        assert!(rank <= self.len(), "insert rank {rank} > len {}", self.len());
+        if self.len() == self.capacity() {
+            self.stats.grows += 1;
+            self.rebuild(self.capacity() * 2);
+        }
+        let rep = self.inner.insert(rank);
+        self.op_moves += rep.cost();
+        let h = Handle(self.ids.fresh().0);
+        self.handle_of.insert(rep.placed.expect("insert places").0, h);
+        h
+    }
+
+    /// Delete the element of `rank`, shrinking at quarter load.
+    pub fn delete(&mut self, rank: usize) -> Handle {
+        assert!(rank < self.len(), "delete rank {rank} >= len {}", self.len());
+        let rep = self.inner.delete(rank);
+        self.op_moves += rep.cost();
+        let (gone, _) = rep.removed.expect("delete removes");
+        let h = self.handle_of.remove(&gone).expect("unknown element");
+        if self.capacity() > self.min_capacity && self.len() * 4 <= self.capacity() {
+            self.stats.shrinks += 1;
+            let target = (self.capacity() / 2).max(self.min_capacity);
+            self.rebuild(target);
+        }
+        h
+    }
+
+    /// Apply an [`Op`].
+    pub fn apply(&mut self, op: Op) -> Handle {
+        match op {
+            Op::Insert(r) => self.insert(r),
+            Op::Delete(r) => self.delete(r),
+        }
+    }
+
+    /// Iterate handles in rank order.
+    pub fn iter(&self) -> impl Iterator<Item = Handle> + '_ {
+        self.inner.slots().iter_occupied().map(move |(_, e)| self.handle_of[&e])
+    }
+
+    /// The report-free cost model: ordinary moves + rebuild moves.
+    pub fn total_moves(&self) -> u64 {
+        self.op_moves + self.stats.rebuild_moves
+    }
+}
+
+/// A convenience: run an op sequence through a growable list, verifying
+/// handles stay consistent (used by tests).
+pub fn check_growable<B: LabelingBuilder>(builder: B, ops: &[Op]) -> Growable<B> {
+    let mut g = Growable::new(builder, 16);
+    let mut reference: Vec<Handle> = Vec::new();
+    for &op in ops {
+        match op {
+            Op::Insert(r) => {
+                let h = g.insert(r);
+                reference.insert(r, h);
+            }
+            Op::Delete(r) => {
+                let h = g.delete(r);
+                assert_eq!(reference.remove(r), h, "deleted wrong handle");
+            }
+        }
+        assert_eq!(g.len(), reference.len());
+    }
+    let got: Vec<Handle> = g.iter().collect();
+    assert_eq!(got, reference, "handle order diverged");
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pma::ClassicBuilder;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut g = Growable::new(ClassicBuilder, 16);
+        for i in 0..1000 {
+            g.insert(i / 2);
+        }
+        assert_eq!(g.len(), 1000);
+        assert!(g.capacity() >= 1000);
+        assert!(g.stats().grows >= 5, "expected several doublings");
+    }
+
+    #[test]
+    fn shrinks_at_quarter_load() {
+        let mut g = Growable::new(ClassicBuilder, 16);
+        for i in 0..512 {
+            g.insert(i);
+        }
+        let grown = g.capacity();
+        for _ in 0..500 {
+            g.delete(0);
+        }
+        assert!(g.capacity() < grown, "expected shrink");
+        assert!(g.stats().shrinks >= 1);
+        assert_eq!(g.len(), 12);
+    }
+
+    #[test]
+    fn handles_survive_rebuilds() {
+        let mut g = Growable::new(ClassicBuilder, 16);
+        let mut handles = Vec::new();
+        for i in 0..300 {
+            handles.push(g.insert(i));
+        }
+        // several growths happened; order must match insertion order
+        let got: Vec<Handle> = g.iter().collect();
+        assert_eq!(got, handles);
+        assert_eq!(g.handle_at_rank(137), handles[137]);
+        assert_eq!(g.rank_of(handles[42]), Some(42));
+    }
+
+    #[test]
+    fn random_churn_consistency() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut ops = Vec::new();
+        let mut len = 0usize;
+        for _ in 0..2000 {
+            if len == 0 || rng.gen_bool(0.6) {
+                ops.push(Op::Insert(rng.gen_range(0..=len)));
+                len += 1;
+            } else {
+                ops.push(Op::Delete(rng.gen_range(0..len)));
+                len -= 1;
+            }
+        }
+        check_growable(ClassicBuilder, &ops);
+    }
+
+    #[test]
+    fn amortized_cost_stays_polylog_through_growth() {
+        let n = 1 << 12;
+        let mut g = Growable::new(ClassicBuilder, 16);
+        for _ in 0..n {
+            g.insert(0);
+        }
+        let per_op = g.total_moves() as f64 / n as f64;
+        assert!(per_op < 150.0, "growth overhead too high: {per_op}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Opaque element identities.
+//!
+//! List-labeling algorithms treat stored elements as black boxes (paper §2:
+//! "the only information that it knows about the elements is their relative
+//! ranks"). An [`ElemId`] is that black box: a unique, copyable token. The
+//! *user* of a structure maps ids to payloads externally (see the
+//! `database_index` example in the workspace root).
+
+use std::fmt;
+
+/// A unique identity for one stored element.
+///
+/// Ids are allocated by an [`IdGen`] owned by each structure and are never
+/// reused within one structure's lifetime. Equality/ordering on `ElemId` is
+/// identity only — it says nothing about element rank.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElemId(pub u64);
+
+impl fmt::Debug for ElemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for ElemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Monotone id allocator.
+#[derive(Clone, Debug, Default)]
+pub struct IdGen {
+    next: u64,
+}
+
+impl IdGen {
+    /// Create a generator starting at id 0.
+    pub fn new() -> Self {
+        Self { next: 0 }
+    }
+
+    /// Allocate the next fresh id.
+    #[inline]
+    pub fn fresh(&mut self) -> ElemId {
+        let id = ElemId(self.next);
+        self.next += 1;
+        id
+    }
+
+    /// Number of ids handed out so far.
+    pub fn issued(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_fresh_and_monotone() {
+        let mut g = IdGen::new();
+        let a = g.fresh();
+        let b = g.fresh();
+        assert_ne!(a, b);
+        assert!(a < b);
+        assert_eq!(g.issued(), 2);
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        assert_eq!(format!("{:?}", ElemId(7)), "e7");
+        assert_eq!(format!("{}", ElemId(7)), "e7");
+    }
+}

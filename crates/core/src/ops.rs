@@ -1,0 +1,109 @@
+//! The list-labeling operation alphabet.
+//!
+//! Paper §2: operations are `x_t = (r, σ)` where `σ` is insert/delete and
+//! `r` is the rank at which the operation occurs. We use 0-based ranks:
+//!
+//! * `Insert(r)` with `r ∈ 0..=len` — the new element becomes the element of
+//!   rank `r` (inserting at rank 0 makes it the new smallest; the paper's
+//!   1-based "rank 1" is our rank 0).
+//! * `Delete(r)` with `r ∈ 0..len` — removes the element of rank `r`.
+
+use std::fmt;
+
+/// One list-labeling operation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Insert a new element so that it has the given 0-based rank.
+    Insert(usize),
+    /// Delete the element with the given 0-based rank.
+    Delete(usize),
+}
+
+impl Op {
+    /// The rank the operation addresses.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        match *self {
+            Op::Insert(r) | Op::Delete(r) => r,
+        }
+    }
+
+    /// True if this is an insertion.
+    #[inline]
+    pub fn is_insert(&self) -> bool {
+        matches!(self, Op::Insert(_))
+    }
+
+    /// The net change to the stored-set size (+1 / -1).
+    #[inline]
+    pub fn delta_len(&self) -> isize {
+        match self {
+            Op::Insert(_) => 1,
+            Op::Delete(_) => -1,
+        }
+    }
+
+    /// Validate against a current length; returns `false` if the rank is out
+    /// of range for that length.
+    pub fn valid_for_len(&self, len: usize) -> bool {
+        match *self {
+            Op::Insert(r) => r <= len,
+            Op::Delete(r) => r < len,
+        }
+    }
+}
+
+impl fmt::Debug for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Insert(r) => write!(f, "ins@{r}"),
+            Op::Delete(r) => write!(f, "del@{r}"),
+        }
+    }
+}
+
+/// Compute the length trajectory of an operation sequence starting from
+/// `start_len`, returning `None` if any op is invalid at its point of use.
+pub fn check_sequence(start_len: usize, ops: &[Op]) -> Option<usize> {
+    let mut len = start_len;
+    for op in ops {
+        if !op.valid_for_len(len) {
+            return None;
+        }
+        len = (len as isize + op.delta_len()) as usize;
+    }
+    Some(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_basics() {
+        assert!(Op::Insert(0).is_insert());
+        assert!(!Op::Delete(0).is_insert());
+        assert_eq!(Op::Insert(3).rank(), 3);
+        assert_eq!(Op::Delete(3).rank(), 3);
+        assert_eq!(Op::Insert(0).delta_len(), 1);
+        assert_eq!(Op::Delete(0).delta_len(), -1);
+    }
+
+    #[test]
+    fn validity_bounds() {
+        assert!(Op::Insert(0).valid_for_len(0));
+        assert!(!Op::Delete(0).valid_for_len(0));
+        assert!(Op::Insert(5).valid_for_len(5));
+        assert!(!Op::Insert(6).valid_for_len(5));
+        assert!(Op::Delete(4).valid_for_len(5));
+        assert!(!Op::Delete(5).valid_for_len(5));
+    }
+
+    #[test]
+    fn sequence_checking() {
+        let ops = [Op::Insert(0), Op::Insert(1), Op::Delete(0), Op::Insert(0)];
+        assert_eq!(check_sequence(0, &ops), Some(2));
+        let bad = [Op::Insert(0), Op::Delete(1)];
+        assert_eq!(check_sequence(0, &bad), None);
+    }
+}

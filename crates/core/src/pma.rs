@@ -1,0 +1,497 @@
+//! A reusable packed-memory-array skeleton.
+//!
+//! The classical PMA of Itai–Konheim–Rodeh and its adaptive and randomized
+//! descendants share one skeleton: a slot array viewed through a calibrator
+//! tree, where an out-of-threshold window is rebalanced to a target layout.
+//! They differ only in *policy*: what the thresholds are (fixed,
+//! interpolated, or randomized) and what the target layout is (even,
+//! unevenly weighted toward predicted hotspots, or randomly jittered).
+//!
+//! [`PmaBase`] is the skeleton; [`RebalancePolicy`] is the policy. The
+//! concrete crates in this workspace (`lll-classic`, `lll-adaptive`,
+//! `lll-randomized`) are policies plugged into this type.
+//!
+//! The insertion flow (mirrors the classical algorithm):
+//!
+//! 1. locate the insertion point between the rank's predecessor and
+//!    successor;
+//! 2. if the containing leaf would exceed its upper threshold, walk up to
+//!    the smallest ancestor window that (counting the new element) is within
+//!    threshold, and rebalance it to the policy's target layout;
+//! 3. place the element — directly into a free slot of the gap if one
+//!    exists, otherwise shift the minimal run of elements aside.
+//!
+//! Deletions mirror this with lower thresholds. All motion goes through
+//! [`SlotArray`], so every atomic move preserves sorted order and is
+//! cost-logged.
+
+use crate::density::{even_targets, SegTree, Thresholds};
+use crate::ids::IdGen;
+use crate::ops::Op;
+use crate::report::OpReport;
+use crate::slot_array::{spread_moves, SlotArray};
+use crate::traits::{LabelingBuilder, ListLabeling};
+
+/// A window rebalancing policy: thresholds plus target layouts.
+pub trait RebalancePolicy {
+    /// Upper density threshold for a window at `level` (0 = leaf) in a tree
+    /// of the given `height`. `window` identifies the node (for stateful,
+    /// e.g. randomized-per-node, policies).
+    fn upper(&mut self, level: usize, height: usize, window: (usize, usize)) -> f64;
+
+    /// Lower density threshold (deletion side).
+    fn lower(&mut self, level: usize, height: usize, window: (usize, usize)) -> f64;
+
+    /// Target positions for the `k` elements currently in `[a, b)`, in rank
+    /// order. Must return `k` strictly increasing positions within `[a, b)`.
+    /// The default is the canonical even spread.
+    fn targets(&mut self, tree: &SegTree, slots: &SlotArray, a: usize, b: usize) -> Vec<usize> {
+        let k = slots.occupied_in(a, b);
+        let _ = tree;
+        even_targets(a, b, k)
+    }
+
+    /// Hook: an element was just placed at `pos` (adaptive policies learn
+    /// insertion pressure from this).
+    fn on_insert(&mut self, tree: &SegTree, pos: usize) {
+        let _ = (tree, pos);
+    }
+
+    /// Hook: the window `[a, b)` at `level` was just rebalanced.
+    fn on_rebalance(&mut self, level: usize, window: (usize, usize)) {
+        let _ = (level, window);
+    }
+
+    /// Algorithm name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The PMA skeleton parameterized by a rebalance policy.
+#[derive(Clone, Debug)]
+pub struct PmaBase<P: RebalancePolicy> {
+    slots: SlotArray,
+    tree: SegTree,
+    ids: IdGen,
+    capacity: usize,
+    policy: P,
+    rebalances: u64,
+    rebalance_moves: u64,
+}
+
+impl<P: RebalancePolicy> PmaBase<P> {
+    /// Build an empty PMA of `capacity` elements over `num_slots` slots.
+    pub fn new(capacity: usize, num_slots: usize, policy: P) -> Self {
+        assert!(capacity >= 1, "capacity must be positive");
+        assert!(
+            num_slots > capacity,
+            "PMA needs slack: capacity={capacity} num_slots={num_slots}"
+        );
+        Self {
+            slots: SlotArray::new(num_slots),
+            tree: SegTree::new(num_slots),
+            ids: IdGen::new(),
+            capacity,
+            policy,
+            rebalances: 0,
+            rebalance_moves: 0,
+        }
+    }
+
+    /// The calibrator-tree geometry.
+    pub fn tree(&self) -> &SegTree {
+        &self.tree
+    }
+
+    /// Immutable access to the policy.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Mutable access to the policy (tests / instrumentation).
+    pub fn policy_mut(&mut self) -> &mut P {
+        &mut self.policy
+    }
+
+    /// Number of window rebalances performed so far.
+    pub fn rebalances(&self) -> u64 {
+        self.rebalances
+    }
+
+    /// Total moves spent inside rebalances.
+    pub fn rebalance_moves(&self) -> u64 {
+        self.rebalance_moves
+    }
+
+    /// Density of `[a, b)` counting `extra` hypothetical elements.
+    #[inline]
+    fn density_with(&self, a: usize, b: usize, extra: usize) -> f64 {
+        (self.slots.occupied_in(a, b) + extra) as f64 / (b - a) as f64
+    }
+
+    /// Rebalance the window `[a, b)` to the policy's target layout.
+    fn rebalance(&mut self, level: usize, a: usize, b: usize) {
+        let targets = self.policy.targets(&self.tree, &self.slots, a, b);
+        let k = self.slots.occupied_in(a, b);
+        debug_assert_eq!(targets.len(), k, "policy returned wrong target count");
+        debug_assert!(targets.windows(2).all(|w| w[0] < w[1]), "targets not increasing");
+        debug_assert!(targets.iter().all(|&t| a <= t && t < b), "target outside window");
+        let mut pairs = Vec::with_capacity(k);
+        {
+            let mut i = 0usize;
+            for (pos, _) in self.slots.iter_occupied() {
+                if pos < a {
+                    continue;
+                }
+                if pos >= b {
+                    break;
+                }
+                pairs.push((pos, targets[i]));
+                i += 1;
+            }
+        }
+        let before = self.slots.pending_log_len();
+        spread_moves(&mut self.slots, &pairs);
+        let moved = self.slots.pending_log_len() - before;
+        self.rebalances += 1;
+        self.rebalance_moves += moved as u64;
+        self.policy.on_rebalance(level, (a, b));
+    }
+
+    /// Find the smallest window containing `pos` that can absorb `extra`
+    /// more elements within its upper threshold; rebalance it if the leaf
+    /// itself cannot. Returns true if a rebalance happened.
+    fn ensure_room(&mut self, pos: usize, extra: usize) -> bool {
+        let height = self.tree.height();
+        let (leaf_a, leaf_b) = self.tree.window(0, self.tree.seg_of(pos));
+        let leaf_cap = self.policy.upper(0, height, (leaf_a, leaf_b)) * (leaf_b - leaf_a) as f64;
+        let leaf_load = (self.slots.occupied_in(leaf_a, leaf_b) + extra) as f64;
+        if leaf_load <= leaf_cap && self.slots.occupied_in(leaf_a, leaf_b) < leaf_b - leaf_a {
+            return false;
+        }
+        let seg = self.tree.seg_of(pos);
+        for level in 1..=height {
+            let (a, b) = self.tree.window(level, seg);
+            let cap = self.policy.upper(level, height, (a, b)) * (b - a) as f64;
+            if (self.slots.occupied_in(a, b) + extra) as f64 <= cap {
+                self.rebalance(level, a, b);
+                return true;
+            }
+        }
+        // The root always has room: capacity ≤ root_upper · m by contract.
+        let (a, b) = self.tree.root_window();
+        assert!(
+            self.len() + extra <= b - a,
+            "array physically full: len={} extra={extra} m={}",
+            self.len(),
+            b - a
+        );
+        self.rebalance(height, a, b);
+        true
+    }
+
+    /// After a deletion at `pos`, merge/rebalance if the leaf fell below its
+    /// lower threshold.
+    fn rebalance_after_delete(&mut self, pos: usize) {
+        if self.len() < 8 {
+            return; // too small for thresholds to be meaningful
+        }
+        let height = self.tree.height();
+        let seg = self.tree.seg_of(pos);
+        let (leaf_a, leaf_b) = self.tree.window(0, seg);
+        let lo = self.policy.lower(0, height, (leaf_a, leaf_b));
+        if self.density_with(leaf_a, leaf_b, 0) >= lo {
+            return;
+        }
+        for level in 1..=height {
+            let (a, b) = self.tree.window(level, seg);
+            let lo = self.policy.lower(level, height, (a, b));
+            let hi = self.policy.upper(level, height, (a, b));
+            let d = self.density_with(a, b, 0);
+            if d >= lo && d <= hi {
+                self.rebalance(level, a, b);
+                return;
+            }
+        }
+        let (a, b) = self.tree.root_window();
+        self.rebalance(height, a, b);
+    }
+
+    /// The insertion point for `rank`: `(pred_pos, succ_pos)` with `None`
+    /// at the boundaries.
+    fn neighbors(&self, rank: usize) -> (Option<usize>, Option<usize>) {
+        let len = self.len();
+        let pred = if rank > 0 { Some(self.slots.select(rank - 1)) } else { None };
+        let succ = if rank < len { Some(self.slots.select(rank)) } else { None };
+        (pred, succ)
+    }
+
+    /// Place a new element for `rank`, shifting minimally if the gap is
+    /// fully occupied. Returns the placement position.
+    fn place_at_rank(&mut self, rank: usize) -> usize {
+        let m = self.slots.num_slots();
+        let (pred, succ) = self.neighbors(rank);
+        let id_pos = match (pred, succ) {
+            (None, None) => {
+                let pos = m / 2;
+                return self.do_place(pos);
+            }
+            (Some(p), None) => {
+                // after the last element: any free slot right of p, else shift left
+                if let Some(f) = self.slots.next_free(p + 1) {
+                    return self.do_place(f);
+                }
+                // no free slot right of p: shift [f..p] left into the free slot
+                let f = self.slots.prev_free(p).expect("no free slot anywhere");
+                for q in f + 1..=p {
+                    self.slots.move_elem(q, q - 1);
+                }
+                return self.do_place(p);
+            }
+            (None, Some(q)) => {
+                // before the first element
+                if q > 0 {
+                    if let Some(f) = self.slots.prev_free(q - 1) {
+                        return self.do_place(f);
+                    }
+                }
+                // no free slot left of q: shift [q..f] right
+                let f = self.slots.next_free(q).expect("no free slot anywhere");
+                for t in (q..f).rev() {
+                    self.slots.move_elem(t, t + 1);
+                }
+                return self.do_place(q);
+            }
+            (Some(p), Some(q)) => (p, q),
+        };
+        let (p, q) = id_pos;
+        if q > p + 1 {
+            // gap has at least one slot; find a free one (the gap may contain
+            // nothing else, so every slot in (p, q) is free)
+            let mid = p + (q - p) / 2;
+            return self.do_place(mid);
+        }
+        // adjacent: shift toward the nearest free slot
+        let left = self.slots.prev_free(p);
+        let right = self.slots.next_free(q);
+        match (left, right) {
+            (Some(l), Some(r)) if p - l <= r - q => self.shift_left_and_place(l, p),
+            (Some(_), Some(r)) => self.shift_right_and_place(q, r),
+            (Some(l), None) => self.shift_left_and_place(l, p),
+            (None, Some(r)) => self.shift_right_and_place(q, r),
+            (None, None) => unreachable!("ensure_room guarantees a free slot"),
+        }
+    }
+
+    /// Shift `[l+1 ..= p]` one slot left (into free slot `l`), then place at `p`.
+    fn shift_left_and_place(&mut self, l: usize, p: usize) -> usize {
+        for q in l + 1..=p {
+            self.slots.move_elem(q, q - 1);
+        }
+        self.do_place(p)
+    }
+
+    /// Shift `[q .. r)` one slot right (into free slot `r`), then place at `q`.
+    fn shift_right_and_place(&mut self, q: usize, r: usize) -> usize {
+        for t in (q..r).rev() {
+            self.slots.move_elem(t, t + 1);
+        }
+        self.do_place(q)
+    }
+
+    fn do_place(&mut self, pos: usize) -> usize {
+        let id = self.ids.fresh();
+        self.slots.place(pos, id);
+        pos
+    }
+}
+
+impl<P: RebalancePolicy> ListLabeling for PmaBase<P> {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn num_slots(&self) -> usize {
+        self.slots.num_slots()
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn insert(&mut self, rank: usize) -> OpReport {
+        assert!(rank <= self.len(), "insert rank {rank} > len {}", self.len());
+        assert!(self.len() < self.capacity, "structure at capacity {}", self.capacity);
+        // Pre-placement threshold check at the would-be insertion point.
+        if self.len() > 0 {
+            let probe = match self.neighbors(rank) {
+                (_, Some(q)) => q,
+                (Some(p), None) => p,
+                (None, None) => unreachable!(),
+            };
+            self.ensure_room(probe, 1);
+        }
+        let pos = self.place_at_rank(rank);
+        self.policy.on_insert(&self.tree, pos);
+        let moves = self.slots.drain_log();
+        let placed = self.slots.get(pos).map(|e| (e, pos as u32));
+        OpReport { moves, placed, removed: None }
+    }
+
+    fn delete(&mut self, rank: usize) -> OpReport {
+        assert!(rank < self.len(), "delete rank {rank} >= len {}", self.len());
+        let pos = self.slots.select(rank);
+        let elem = self.slots.remove(pos);
+        self.rebalance_after_delete(pos);
+        let moves = self.slots.drain_log();
+        OpReport { moves, placed: None, removed: Some((elem, pos as u32)) }
+    }
+
+    fn slots(&self) -> &SlotArray {
+        &self.slots
+    }
+
+    fn name(&self) -> &'static str {
+        self.policy.name()
+    }
+}
+
+/// The classical fixed-threshold, even-spread policy (Itai–Konheim–Rodeh).
+/// Exposed here because other crates build on it (and `lll-classic` wraps
+/// it as its public API).
+#[derive(Clone, Copy, Debug)]
+pub struct ClassicPolicy {
+    /// The interpolated thresholds.
+    pub thresholds: Thresholds,
+}
+
+impl ClassicPolicy {
+    /// Policy sized for `capacity` elements over `num_slots` slots.
+    pub fn for_capacity(capacity: usize, num_slots: usize) -> Self {
+        Self { thresholds: Thresholds::for_capacity(capacity, num_slots) }
+    }
+}
+
+impl RebalancePolicy for ClassicPolicy {
+    fn upper(&mut self, level: usize, height: usize, _window: (usize, usize)) -> f64 {
+        self.thresholds.upper(level, height)
+    }
+
+    fn lower(&mut self, level: usize, height: usize, _window: (usize, usize)) -> f64 {
+        self.thresholds.lower(level, height)
+    }
+
+    fn name(&self) -> &'static str {
+        "classic-pma"
+    }
+}
+
+/// Builder for the classical PMA (used pervasively as a default substrate).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClassicBuilder;
+
+impl LabelingBuilder for ClassicBuilder {
+    type Structure = PmaBase<ClassicPolicy>;
+
+    fn build(&self, capacity: usize, num_slots: usize) -> Self::Structure {
+        PmaBase::new(capacity, num_slots, ClassicPolicy::for_capacity(capacity, num_slots))
+    }
+
+    fn expected_cost_hint(&self, capacity: usize) -> f64 {
+        let lg = crate::traits::log2f(capacity);
+        lg * lg
+    }
+}
+
+/// Run an operation sequence through any structure, returning total cost.
+/// Convenience for tests and examples.
+pub fn run_ops<L: ListLabeling>(l: &mut L, ops: &[Op]) -> u64 {
+    ops.iter().map(|&op| l.apply(op).cost()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::Oracle;
+
+    #[test]
+    fn classic_pma_random_ops_match_oracle() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let n = 300;
+        let mut pma = ClassicBuilder.build(n, (n as f64 * 1.3) as usize);
+        let mut oracle = Oracle::new();
+        for step in 0..2000 {
+            let len = pma.len();
+            let insert = len == 0 || (len < n && rng.gen_bool(0.7));
+            if insert {
+                let r = rng.gen_range(0..=len);
+                let rep = pma.insert(r);
+                oracle.insert(r, rep.placed.unwrap().0);
+            } else {
+                let r = rng.gen_range(0..len);
+                let rep = pma.delete(r);
+                oracle.delete(r, rep.removed.unwrap().0);
+            }
+            if step % 100 == 0 {
+                oracle.check(&pma);
+            }
+        }
+        oracle.check(&pma);
+    }
+
+    #[test]
+    fn classic_pma_fills_to_capacity() {
+        let n = 200;
+        let mut pma = ClassicBuilder.build(n, 260);
+        for i in 0..n {
+            pma.insert(i);
+        }
+        assert_eq!(pma.len(), n);
+    }
+
+    #[test]
+    fn classic_pma_sequential_head_inserts() {
+        let n = 500;
+        let mut pma = ClassicBuilder.build(n, 700);
+        let mut total = 0;
+        for _ in 0..n {
+            total += pma.insert(0).cost();
+        }
+        assert_eq!(pma.len(), n);
+        // amortized cost should be polylog, far below the O(n) of shifting
+        let amortized = total as f64 / n as f64;
+        assert!(amortized < 60.0, "amortized {amortized} too high");
+    }
+
+    #[test]
+    fn classic_pma_delete_to_empty() {
+        let n = 64;
+        let mut pma = ClassicBuilder.build(n, 96);
+        for i in 0..n {
+            pma.insert(i);
+        }
+        for _ in 0..n {
+            pma.delete(0);
+        }
+        assert!(pma.is_empty());
+    }
+
+    #[test]
+    fn costs_derive_from_move_log() {
+        let mut pma = ClassicBuilder.build(10, 16);
+        let rep = pma.insert(0);
+        assert_eq!(rep.cost(), rep.moves.len() as u64);
+        assert_eq!(rep.cost(), 1); // empty array: a single placement
+    }
+
+    #[test]
+    fn rebalance_counters_advance() {
+        let n = 256;
+        let mut pma = ClassicBuilder.build(n, 320);
+        for _ in 0..n {
+            pma.insert(0);
+        }
+        assert!(pma.rebalances() > 0);
+        assert!(pma.rebalance_moves() > 0);
+    }
+}

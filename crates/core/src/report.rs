@@ -1,0 +1,89 @@
+//! Per-operation reports: the move log and derived cost.
+//!
+//! The paper's cost model (Definition 1): *"The cost of an algorithm is the
+//! number of elements moved during the insertions/deletions."* Every
+//! structure in this workspace returns an [`OpReport`] from each operation;
+//! the report's `moves` are recorded by the [`SlotArray`](crate::slot_array)
+//! itself, so the cost cannot be under-reported by an algorithm.
+//!
+//! Placing a newly inserted element into its slot counts as one move (the
+//! element is moved into the array); removing an element counts as zero.
+
+use crate::ids::ElemId;
+
+/// One physical element move from slot `from` to slot `to`.
+///
+/// Positions are `u32` — arrays of more than 2³² slots are far beyond the
+/// scales this library targets, and the smaller record keeps move logs cheap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MoveRec {
+    /// The element that moved.
+    pub elem: ElemId,
+    /// Source slot position.
+    pub from: u32,
+    /// Destination slot position.
+    pub to: u32,
+}
+
+/// The outcome of a single `insert`/`delete` on a [`ListLabeling`]
+/// structure.
+///
+/// [`ListLabeling`]: crate::traits::ListLabeling
+#[derive(Clone, Debug, Default)]
+pub struct OpReport {
+    /// Every physical element move performed by this operation, in order.
+    /// The placement of a newly inserted element is included as a move with
+    /// `from == to` (the element "moves into" the array).
+    pub moves: Vec<MoveRec>,
+    /// For insertions: the new element and the slot it was placed in.
+    pub placed: Option<(ElemId, u32)>,
+    /// For deletions: the removed element and the slot it was removed from.
+    pub removed: Option<(ElemId, u32)>,
+}
+
+impl OpReport {
+    /// The operation's cost in the paper's model: number of element moves.
+    #[inline]
+    pub fn cost(&self) -> u64 {
+        self.moves.len() as u64
+    }
+
+    /// Merge another report's moves into this one (used by composite
+    /// structures such as the embedding, which perform moves through several
+    /// sub-structures during one logical operation).
+    pub fn absorb(&mut self, other: OpReport) {
+        self.moves.extend(other.moves);
+        if self.placed.is_none() {
+            self.placed = other.placed;
+        }
+        if self.removed.is_none() {
+            self.removed = other.removed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_counts_moves() {
+        let mut r = OpReport::default();
+        assert_eq!(r.cost(), 0);
+        r.moves.push(MoveRec { elem: ElemId(1), from: 0, to: 3 });
+        r.moves.push(MoveRec { elem: ElemId(2), from: 3, to: 3 });
+        assert_eq!(r.cost(), 2);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = OpReport::default();
+        a.moves.push(MoveRec { elem: ElemId(1), from: 0, to: 1 });
+        let mut b = OpReport::default();
+        b.moves.push(MoveRec { elem: ElemId(2), from: 5, to: 6 });
+        b.placed = Some((ElemId(2), 6));
+        a.absorb(b);
+        assert_eq!(a.cost(), 2);
+        assert_eq!(a.placed, Some((ElemId(2), 6)));
+    }
+}

@@ -1,0 +1,338 @@
+//! The physical slot array.
+//!
+//! A [`SlotArray`] is an array of `m` slots, each either free or holding one
+//! [`ElemId`]. Every structure in this workspace performs **all** element
+//! motion through this type, which gives three guarantees:
+//!
+//! 1. **Cost integrity** — each move/placement is appended to an internal
+//!    move log; an operation's cost is the length of the log segment it
+//!    produced, so algorithms cannot misreport their cost.
+//! 2. **Safety discipline** — each move targets a free slot and (checked in
+//!    debug builds) crosses no occupied slot, which is exactly the condition
+//!    under which a single move preserves sorted order. Rebalances that obey
+//!    the standard "rightmost-first when spreading right" discipline keep
+//!    the array sorted after *every* atomic move — a property the paper's
+//!    embedding relies on when it mirrors moves between layers.
+//! 3. **Navigation** — an occupancy Fenwick tree answers rank ↔ position
+//!    queries in O(log m).
+
+use crate::fenwick::Fenwick;
+use crate::ids::ElemId;
+use crate::report::MoveRec;
+
+/// An array of slots holding at most one element each, with an occupancy
+/// index and an append-only move log.
+#[derive(Clone, Debug)]
+pub struct SlotArray {
+    contents: Vec<Option<ElemId>>,
+    occ: Fenwick,
+    log: Vec<MoveRec>,
+    /// Total moves ever logged (survives log draining).
+    lifetime_moves: u64,
+}
+
+impl SlotArray {
+    /// An empty array of `m` slots.
+    pub fn new(m: usize) -> Self {
+        Self {
+            contents: vec![None; m],
+            occ: Fenwick::new(m),
+            log: Vec::new(),
+            lifetime_moves: 0,
+        }
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        self.contents.len()
+    }
+
+    /// Number of stored elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.occ.total() as usize
+    }
+
+    /// True if no elements are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The element at `pos`, if any.
+    #[inline]
+    pub fn get(&self, pos: usize) -> Option<ElemId> {
+        self.contents[pos]
+    }
+
+    /// True if `pos` holds an element.
+    #[inline]
+    pub fn is_occupied(&self, pos: usize) -> bool {
+        self.contents[pos].is_some()
+    }
+
+    /// Occupancy Fenwick tree (read-only).
+    #[inline]
+    pub fn occ(&self) -> &Fenwick {
+        &self.occ
+    }
+
+    /// Number of occupied slots in `[a, b)`.
+    #[inline]
+    pub fn occupied_in(&self, a: usize, b: usize) -> usize {
+        self.occ.range(a, b) as usize
+    }
+
+    /// Position of the element of 0-based `rank`.
+    ///
+    /// Panics if `rank >= len`.
+    #[inline]
+    pub fn select(&self, rank: usize) -> usize {
+        self.occ
+            .select(rank as u64)
+            .unwrap_or_else(|| panic!("rank {rank} out of range (len {})", self.len()))
+    }
+
+    /// Rank of the element at `pos` (number of elements strictly before it).
+    ///
+    /// `pos` itself need not be occupied; this returns how many elements
+    /// precede position `pos`.
+    #[inline]
+    pub fn rank_at(&self, pos: usize) -> usize {
+        self.occ.prefix(pos) as usize
+    }
+
+    /// First free slot at or after `pos`.
+    #[inline]
+    pub fn next_free(&self, pos: usize) -> Option<usize> {
+        self.occ.next_unmarked_at_or_after(pos)
+    }
+
+    /// Last free slot at or before `pos`.
+    #[inline]
+    pub fn prev_free(&self, pos: usize) -> Option<usize> {
+        self.occ.prev_unmarked_at_or_before(pos)
+    }
+
+    /// Place a brand-new element into a free slot. Logged as a move
+    /// (`from == to`): the element is moved into the array, cost 1.
+    pub fn place(&mut self, pos: usize, elem: ElemId) {
+        assert!(
+            self.contents[pos].is_none(),
+            "place into occupied slot {pos} ({:?})",
+            self.contents[pos]
+        );
+        self.contents[pos] = Some(elem);
+        self.occ.add(pos, 1);
+        self.log.push(MoveRec { elem, from: pos as u32, to: pos as u32 });
+        self.lifetime_moves += 1;
+    }
+
+    /// Remove and return the element at `pos`. Cost 0 (removal is not a
+    /// move in the paper's cost model).
+    pub fn remove(&mut self, pos: usize) -> ElemId {
+        let elem = self.contents[pos]
+            .take()
+            .unwrap_or_else(|| panic!("remove from empty slot {pos}"));
+        self.occ.add(pos, -1);
+        elem
+    }
+
+    /// Move the element at `from` into the free slot `to`. Cost 1.
+    ///
+    /// Debug builds verify the move crosses no occupied slot — the local
+    /// condition that guarantees sorted order is preserved.
+    pub fn move_elem(&mut self, from: usize, to: usize) -> ElemId {
+        if from == to {
+            let elem = self.contents[from].expect("move from empty slot");
+            return elem;
+        }
+        let elem = self.contents[from]
+            .take()
+            .unwrap_or_else(|| panic!("move from empty slot {from}"));
+        assert!(
+            self.contents[to].is_none(),
+            "move into occupied slot {to} ({:?})",
+            self.contents[to]
+        );
+        debug_assert!(
+            {
+                let (a, b) = if from < to { (from + 1, to) } else { (to + 1, from) };
+                self.occ.range(a, b) == 0
+            },
+            "move {from}->{to} crosses an occupied slot"
+        );
+        self.contents[to] = Some(elem);
+        self.occ.add(from, -1);
+        self.occ.add(to, 1);
+        self.log.push(MoveRec { elem, from: from as u32, to: to as u32 });
+        self.lifetime_moves += 1;
+        elem
+    }
+
+    /// Drain all moves logged since the last drain.
+    pub fn drain_log(&mut self) -> Vec<MoveRec> {
+        std::mem::take(&mut self.log)
+    }
+
+    /// Moves logged since the last drain, without draining.
+    #[inline]
+    pub fn pending_log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Total moves ever performed.
+    #[inline]
+    pub fn lifetime_moves(&self) -> u64 {
+        self.lifetime_moves
+    }
+
+    /// Iterate `(position, elem)` over occupied slots in position order.
+    pub fn iter_occupied(&self) -> impl Iterator<Item = (usize, ElemId)> + '_ {
+        self.contents
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|e| (i, e)))
+    }
+
+    /// Snapshot of the full layout.
+    pub fn layout(&self) -> Vec<Option<ElemId>> {
+        self.contents.clone()
+    }
+
+    /// Verify internal consistency (occupancy tree matches contents).
+    /// O(m); test/diagnostic use only.
+    pub fn check_consistent(&self) {
+        let mut count = 0u64;
+        for (i, c) in self.contents.iter().enumerate() {
+            let marked = self.occ.range(i, i + 1) == 1;
+            assert_eq!(c.is_some(), marked, "occupancy mismatch at {i}");
+            if c.is_some() {
+                count += 1;
+            }
+        }
+        assert_eq!(count, self.occ.total(), "total mismatch");
+    }
+}
+
+/// Move a set of elements within a window to new target positions, in an
+/// order that keeps the array sorted after every atomic move.
+///
+/// `pairs` is a slice of `(current_pos, target_pos)` sorted by
+/// `current_pos`, encoding an order-preserving relocation (targets are
+/// strictly increasing too). Left-movers are executed left-to-right first,
+/// then right-movers right-to-left; this never moves an element across an
+/// occupied slot (see module docs).
+pub fn spread_moves(slots: &mut SlotArray, pairs: &[(usize, usize)]) {
+    debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
+    for &(from, to) in pairs.iter() {
+        if to < from {
+            slots.move_elem(from, to);
+        }
+    }
+    for &(from, to) in pairs.iter().rev() {
+        if to > from {
+            slots.move_elem(from, to);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::IdGen;
+
+    fn filled(positions: &[usize], m: usize) -> (SlotArray, Vec<ElemId>) {
+        let mut s = SlotArray::new(m);
+        let mut g = IdGen::new();
+        let mut ids = Vec::new();
+        for &p in positions {
+            let id = g.fresh();
+            s.place(p, id);
+            ids.push(id);
+        }
+        (s, ids)
+    }
+
+    #[test]
+    fn place_remove_move() {
+        let (mut s, ids) = filled(&[2, 5], 8);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(2), Some(ids[0]));
+        s.move_elem(5, 7);
+        assert_eq!(s.get(5), None);
+        assert_eq!(s.get(7), Some(ids[1]));
+        let e = s.remove(2);
+        assert_eq!(e, ids[0]);
+        assert_eq!(s.len(), 1);
+        s.check_consistent();
+    }
+
+    #[test]
+    fn move_log_records_everything() {
+        let (mut s, _) = filled(&[0], 4);
+        s.move_elem(0, 2);
+        let log = s.drain_log();
+        assert_eq!(log.len(), 2); // place + move
+        assert_eq!(log[1].from, 0);
+        assert_eq!(log[1].to, 2);
+        assert_eq!(s.drain_log().len(), 0);
+        assert_eq!(s.lifetime_moves(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "occupied")]
+    fn move_into_occupied_panics() {
+        let (mut s, _) = filled(&[0, 1], 4);
+        s.move_elem(0, 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "crosses")]
+    fn crossing_move_panics_in_debug() {
+        let (mut s, _) = filled(&[0, 1], 4);
+        s.move_elem(0, 3); // crosses occupied slot 1
+    }
+
+    #[test]
+    fn rank_navigation() {
+        let (s, ids) = filled(&[1, 4, 6], 8);
+        assert_eq!(s.select(0), 1);
+        assert_eq!(s.select(2), 6);
+        assert_eq!(s.rank_at(5), 2);
+        assert_eq!(s.rank_at(0), 0);
+        assert_eq!(s.next_free(1), Some(2));
+        assert_eq!(s.prev_free(6), Some(5));
+        let got: Vec<ElemId> = s.iter_occupied().map(|(_, e)| e).collect();
+        assert_eq!(got, ids);
+    }
+
+    #[test]
+    fn spread_moves_keeps_order() {
+        // Elements at 3,4,5 spread out to 1,4,7: left-mover, stay, right-mover.
+        let (mut s, ids) = filled(&[3, 4, 5], 9);
+        spread_moves(&mut s, &[(3, 1), (4, 4), (5, 7)]);
+        let got: Vec<(usize, ElemId)> = s.iter_occupied().collect();
+        assert_eq!(got, vec![(1, ids[0]), (4, ids[1]), (7, ids[2])]);
+    }
+
+    #[test]
+    fn spread_moves_compaction() {
+        // Pack 0,3,6 -> 0,1,2 (all left-movers).
+        let (mut s, ids) = filled(&[0, 3, 6], 8);
+        spread_moves(&mut s, &[(0, 0), (3, 1), (6, 2)]);
+        let got: Vec<(usize, ElemId)> = s.iter_occupied().collect();
+        assert_eq!(got, vec![(0, ids[0]), (1, ids[1]), (2, ids[2])]);
+    }
+
+    #[test]
+    fn spread_moves_expansion() {
+        // Spread 0,1,2 -> 2,5,7 (all right-movers).
+        let (mut s, ids) = filled(&[0, 1, 2], 8);
+        spread_moves(&mut s, &[(0, 2), (1, 5), (2, 7)]);
+        let got: Vec<(usize, ElemId)> = s.iter_occupied().collect();
+        assert_eq!(got, vec![(2, ids[0]), (5, ids[1]), (7, ids[2])]);
+    }
+}

@@ -1,0 +1,1048 @@
+//! The embedding `F ⊳ R` (paper §3) and its analysis instrumentation.
+//!
+//! `Embed<F, R>` runs a **simulated copy** of `F` (the planner: it processes
+//! every operation at its true time, which is what makes Lemma 4's
+//! input-independence hold), an **R-shell** `R` whose elements are the
+//! array's non-white slots, and a physical tagged array holding the real
+//! elements. Operations take the paper's fast path (mirror the simulation)
+//! or slow path (buffer the element in an R-shell buffer slot and perform
+//! Θ(E_R) of checkpointed rebuild work), with the Figure-2 move mechanics
+//! translating F-emulator moves into physical moves whose extra cost is
+//! exactly the *deadweight* the paper analyzes (Lemma 5 bounds it at 4
+//! moves per element; `EmbedStats` records the realized histogram).
+//!
+//! `Embed<F, R>` itself implements [`ListLabeling`], so Theorem 3's double
+//! embedding is literally `Embed<X, Embed<Y, Z>>` — see
+//! [`crate::layered`].
+
+use crate::tag_array::{SlotTag, TagArray};
+use lll_core::fenwick::Fenwick;
+use lll_core::ids::{ElemId, IdGen};
+use lll_core::report::OpReport;
+use lll_core::slot_array::SlotArray;
+use lll_core::traits::{LabelingBuilder, ListLabeling};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Where a live element physically lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Loc {
+    /// In the F-emulator's array, at this F-coordinate.
+    F(usize),
+    /// Buffered in the R-shell, at this physical position.
+    Buffer(usize),
+}
+
+/// Tuning parameters of the embedding.
+#[derive(Clone, Copy, Debug)]
+pub struct EmbedConfig {
+    /// The paper's ε: the F-emulator gets `(1+ε)n` slots, the shell `εn`
+    /// buffer slots and `εn` free slots.
+    pub epsilon: f64,
+    /// Scales R's `expected_cost_hint` into the fast/slow-path threshold
+    /// `E_R`.
+    pub er_mult: f64,
+    /// Rebuild work per slow-path operation, as a multiple of `E_R`
+    /// (the paper's "Θ(E_R) rebuild work").
+    pub rebuild_mult: f64,
+}
+
+impl Default for EmbedConfig {
+    fn default() -> Self {
+        Self { epsilon: 1.0 / 3.0, er_mult: 1.0, rebuild_mult: 2.0 }
+    }
+}
+
+/// Observable counters for the paper's lemma-level experiments.
+#[derive(Clone, Debug, Default)]
+pub struct EmbedStats {
+    /// Operations that took the fast path.
+    pub fast_ops: u64,
+    /// Operations that took the slow path.
+    pub slow_ops: u64,
+    /// Rebuilds started / completed (checkpoints).
+    pub rebuilds_started: u64,
+    /// Rebuilds completed.
+    pub rebuilds_completed: u64,
+    /// Max elements simultaneously buffered in the R-shell (Lemma 7).
+    pub max_buffered: usize,
+    /// Max operations spanned by one rebuild (Lemma 6).
+    pub max_rebuild_span: u64,
+    /// Histogram of total deadweight moves per element, recorded at
+    /// incorporation/deletion: index d counts elements that suffered d
+    /// deadweight moves (last bucket = "that many or more"). Lemma 5 says
+    /// everything lands in buckets 0..=4.
+    pub deadweight_hist: [u64; 9],
+    /// Maximum deadweight moves suffered by any single element (Lemma 5
+    /// bounds this by 4).
+    pub max_deadweight: u32,
+    /// Physical moves caused by mirroring R-shell rebalances.
+    pub r_shell_moves: u64,
+    /// Deadweight moves (buffered elements displaced by emulator motion).
+    pub deadweight_moves: u64,
+    /// Buffered elements incorporated into the F-emulator.
+    pub incorporations: u64,
+    /// Emergency full catch-ups because no dummy buffer slot was available
+    /// (the paper's Lemma 7 halting condition; should stay 0).
+    pub forced_catchups: u64,
+    /// R-shell cost of the Θ(n) initialization inserts (reported separately,
+    /// as the paper's light-amortization argument requires).
+    pub init_cost: u64,
+}
+
+impl EmbedStats {
+    fn record_deadweight(&mut self, d: u32) {
+        self.max_deadweight = self.max_deadweight.max(d);
+        let idx = (d as usize).min(self.deadweight_hist.len() - 1);
+        self.deadweight_hist[idx] += 1;
+    }
+}
+
+/// One interval `I_j` of a rebuild (Figure 3), with its two-phase cursor
+/// (Figure 4).
+#[derive(Clone, Debug)]
+struct IntervalJob {
+    f_hi: usize,
+    /// Target layout within the interval: `(f_index, element)` ascending.
+    targets: Vec<(usize, ElemId)>,
+    target_set: HashSet<ElemId>,
+    /// 0 = left-align (pack), 1 = rightward placement (descending),
+    /// 2 = deferred leftward incorporations (ascending).
+    phase: u8,
+    /// Phase-0 read cursor (next F-index to examine).
+    scan: usize,
+    /// Phase-0 write cursor (next packed F-index).
+    pack_next: usize,
+    /// Phase-1 progress (targets placed, from the right).
+    placed: usize,
+    /// Buffered elements whose slot lies right of their target, deferred
+    /// out of the descending pass (pushed in descending target order) and
+    /// incorporated in ascending order — under which no deadweight element
+    /// is crossed twice (see `run_checkpoint`).
+    deferred: Vec<(usize, ElemId)>,
+    /// Phase-2 progress (deferred entries placed, from the back = ascending).
+    placed2: usize,
+}
+
+/// A pending rebuild: transform the physical F-layout into the frozen
+/// checkpoint `C(t) = F(t₀)`.
+#[derive(Clone, Debug)]
+struct Checkpoint {
+    jobs: Vec<IntervalJob>,
+    job_idx: usize,
+}
+
+impl Checkpoint {
+    /// Upper-bound estimate of the moves left (each unplaced target costs
+    /// ≤ 1 pack move + 1 placement move, modulo deadweight).
+    fn planned_remaining(&self) -> u64 {
+        self.jobs[self.job_idx..]
+            .iter()
+            .map(|j| {
+                2 * (j.targets.len() - j.placed) as u64
+                    + 2 * (j.deferred.len() - j.placed2) as u64
+            })
+            .sum()
+    }
+}
+
+/// The embedding `F ⊳ R` of a fast structure `F` into a reliable structure
+/// `R` (paper §3, Theorem 2).
+pub struct Embed<F: ListLabeling, R: ListLabeling> {
+    capacity: usize,
+    tags: TagArray,
+    /// The simulated copy of F (processes every operation immediately).
+    sim: F,
+    /// The R-shell (its elements are the non-white slots of the array).
+    shell: R,
+    /// sim's element ids → embedding element ids (sim ids are dense).
+    sim2emb: Vec<ElemId>,
+    /// The physical F-layout, in F-coordinates, including ghosts.
+    cur_f: Vec<Option<ElemId>>,
+    /// Occupancy index over `cur_f`.
+    fen_curf: Fenwick,
+    /// Live elements → location.
+    elem_loc: HashMap<ElemId, Loc>,
+    /// Deleted elements still present in `cur_f` (ghosts) → F-coordinate.
+    ghosts: HashMap<ElemId, usize>,
+    /// Deadweight counters for currently buffered elements.
+    deadweight: HashMap<ElemId, u32>,
+    /// The element of the in-flight insertion, between its simulation
+    /// insert and its physical placement. A checkpoint created in that
+    /// window (e.g. by a forced catch-up inside `buffer_insert`) must not
+    /// treat it as deleted.
+    pending_insert: Option<ElemId>,
+    /// F-coordinates touched by the simulation since the last completed
+    /// rebuild — the diff candidates for the next checkpoint.
+    dirty: BTreeSet<usize>,
+    checkpoint: Option<Checkpoint>,
+    /// The fast/slow threshold E_R.
+    er_budget: f64,
+    /// Rebuild moves per slow-path op (Θ(E_R)).
+    rebuild_budget: u64,
+    ids: IdGen,
+    stats: EmbedStats,
+    /// Operations since the pending rebuild started (Lemma 6 metric).
+    rebuild_span: u64,
+    /// Optional trace of the operation sequence fed to the R-shell
+    /// (`(is_insert, slot_rank)`), for Lemma 4 experiments: this sequence
+    /// must be identical across different R random tapes.
+    shell_trace: Option<Vec<(bool, usize)>>,
+}
+
+impl<F: ListLabeling, R: ListLabeling> Embed<F, R> {
+    /// Assemble an embedding from an (empty) simulated F and an (empty)
+    /// R-shell. `sim.num_slots()` is the F-emulator size `(1+ε)n`;
+    /// `shell.capacity() - sim.num_slots()` buffer slots are created.
+    /// Performs the Θ(n) R-shell initialization the paper describes.
+    pub fn new(capacity: usize, sim: F, shell: R, er_budget: f64, rebuild_mult: f64) -> Self {
+        let f_count = sim.num_slots();
+        let r_cap = shell.capacity();
+        let m = shell.num_slots();
+        assert!(r_cap > f_count, "shell must hold F-slots plus buffer slots");
+        assert!(m > r_cap, "shell needs free slots");
+        assert!(sim.is_empty() && shell.is_empty(), "sim and shell must start empty");
+        let buf_count = r_cap - f_count;
+        let mut this = Self {
+            capacity,
+            tags: TagArray::new(m),
+            sim,
+            shell,
+            sim2emb: Vec::with_capacity(capacity),
+            cur_f: vec![None; f_count],
+            fen_curf: Fenwick::new(f_count),
+            elem_loc: HashMap::new(),
+            ghosts: HashMap::new(),
+            deadweight: HashMap::new(),
+            pending_insert: None,
+            dirty: BTreeSet::new(),
+            checkpoint: None,
+            er_budget: er_budget.max(1.0),
+            rebuild_budget: ((er_budget * rebuild_mult).ceil() as u64).max(1),
+            ids: IdGen::new(),
+            stats: EmbedStats::default(),
+            rebuild_span: 0,
+            shell_trace: None,
+        };
+        // Initialize the R-shell with all F-slots and buffer slots, evenly
+        // interleaved by slot rank: the i-th slot is a buffer slot when the
+        // scaled counter crosses an integer.
+        for i in 0..r_cap {
+            let is_buffer = ((i + 1) * buf_count) / r_cap != (i * buf_count) / r_cap;
+            let tag = if is_buffer { SlotTag::Buf } else { SlotTag::F };
+            let rep = this.shell.insert(i);
+            this.stats.init_cost += rep.cost();
+            this.mirror_shell(&rep, Some(tag));
+        }
+        debug_assert_eq!(this.tags.f_count(), f_count);
+        debug_assert_eq!(this.tags.buf_count(), buf_count);
+        this
+    }
+
+    /// The instrumentation counters.
+    pub fn stats(&self) -> &EmbedStats {
+        &self.stats
+    }
+
+    /// Currently buffered elements (Lemma 7 metric).
+    pub fn buffered(&self) -> usize {
+        self.tags.buffered_real_count()
+    }
+
+    /// Is a rebuild pending?
+    pub fn rebuild_pending(&self) -> bool {
+        self.checkpoint.is_some()
+    }
+
+    /// The fast/slow threshold E_R in use.
+    pub fn er_budget(&self) -> f64 {
+        self.er_budget
+    }
+
+    /// The simulated copy of F (read-only).
+    pub fn sim(&self) -> &F {
+        &self.sim
+    }
+
+    /// The R-shell (read-only).
+    pub fn shell(&self) -> &R {
+        &self.shell
+    }
+
+    /// The tagged array (read-only; used by the views renderer).
+    pub fn tag_array(&self) -> &TagArray {
+        &self.tags
+    }
+
+    /// Start recording the operation sequence fed to the R-shell. Lemma 4
+    /// of the paper says this sequence is fully determined by the input and
+    /// rand(F) — independent of rand(R); `shell_trace()` lets tests verify
+    /// it operationally.
+    pub fn enable_shell_trace(&mut self) {
+        self.shell_trace = Some(Vec::new());
+    }
+
+    /// The recorded R-shell operation sequence (empty if not enabled).
+    pub fn shell_trace(&self) -> &[(bool, usize)] {
+        self.shell_trace.as_deref().unwrap_or(&[])
+    }
+
+    // ----- emulator motion (Figure 2) ---------------------------------------
+
+    /// Record one deadweight displacement of buffered element `e`, now at
+    /// position `pos`.
+    fn note_deadweight(&mut self, e: ElemId, pos: usize) {
+        self.elem_loc.insert(e, Loc::Buffer(pos));
+        *self.deadweight.entry(e).or_insert(0) += 1;
+        self.stats.deadweight_moves += 1;
+    }
+
+    /// Move the real element at `start` rightward so it becomes the content
+    /// of F-slot `dst_fidx` — the coalesced Figure-2 mechanics. Every
+    /// buffered real element strictly inside the span moves exactly once
+    /// (its deadweight move) into the span's tail `(q, p_dst]`; x lands at
+    /// the pivot slot `q`; O(a₁) retags keep every F-index outside the span
+    /// (and x's landing index) exact. Total cost `1 + a₁`.
+    fn emulator_move_right(&mut self, start: usize, dst_fidx: usize) {
+        let p_dst = self.tags.f_pos(dst_fidx);
+        debug_assert!(start < p_dst, "not a rightward move");
+        let a1 = self.tags.buffered_reals_in(start, p_dst);
+        if a1 == 0 {
+            self.tags.move_content(start, p_dst);
+            return;
+        }
+        let f_total = self.cur_f.len();
+        // The pivot q: exactly a1 non-white slots lie in (q, p_dst].
+        let q = self.tags.slot_pos(self.tags.slot_rank(p_dst) - a1);
+        debug_assert!(q > start, "span too small for its blocking reals");
+        // 1. Relocate the span's reals into the a1 tail slots (q, p_dst],
+        //    order-preserving: the i-th real (by position) goes to the i-th
+        //    tail slot. Right-to-left; rightward-or-stay moves only. Tail
+        //    slots that were (free) F-slots become buffer slots.
+        let first_real = self.tags.buffered_reals_before(start + 1);
+        let tail_rank0 = self.tags.slot_rank(q) + 1;
+        for i in (0..a1).rev() {
+            let p = self.tags.buffered_real_pos(first_real + i).expect("real vanished");
+            let slot = self.tags.slot_pos(tail_rank0 + i);
+            debug_assert!(slot >= p);
+            if slot != p {
+                if self.tags.tag(slot) == SlotTag::F {
+                    debug_assert!(!self.tags.contents.is_occupied(slot));
+                    self.tags.retag(slot, SlotTag::Buf);
+                }
+                let e = self.tags.move_content(p, slot);
+                self.note_deadweight(e, slot);
+            }
+        }
+        // 2. Move x to the pivot; the pivot becomes an F-slot.
+        self.tags.move_content(start, q);
+        if self.tags.tag(q) != SlotTag::F {
+            self.tags.retag(q, SlotTag::F);
+        }
+        // 3. Restore the F-count on dummies strictly inside (start, q):
+        //    this simultaneously fixes x's landing index (= #F-tags before
+        //    q) and every F-index outside the span.
+        while self.tags.f_count() < f_total {
+            let k = self.tags.dummies_before(q);
+            debug_assert!(k > 0, "no dummy available to restore F-count");
+            let dpos = self.tags.dummy_pos(k - 1).expect("dummy rank valid");
+            debug_assert!(dpos > start, "restore slot outside span");
+            self.tags.retag(dpos, SlotTag::F);
+        }
+        debug_assert_eq!(self.tags.f_count(), f_total);
+        debug_assert_eq!(self.tags.f_index_of(q), dst_fidx, "landing index off");
+    }
+
+    /// Mirror image of [`Self::emulator_move_right`]: reals compact into the
+    /// span's head `[p_dst, q)`, x lands at the pivot `q`, and the F-count
+    /// is restored on dummies strictly inside `(q, start)`.
+    fn emulator_move_left(&mut self, start: usize, dst_fidx: usize) {
+        let p_dst = self.tags.f_pos(dst_fidx);
+        debug_assert!(p_dst < start, "not a leftward move");
+        let a1 = self.tags.buffered_reals_in(p_dst, start);
+        if a1 == 0 {
+            self.tags.move_content(start, p_dst);
+            return;
+        }
+        let f_total = self.cur_f.len();
+        // The pivot q: exactly a1 non-white slots lie in [p_dst, q).
+        let q = self.tags.slot_pos(self.tags.slot_rank(p_dst) + a1);
+        debug_assert!(q < start);
+        // 1. Relocate the span's reals into the a1 head slots [p_dst, q),
+        //    order-preserving, left-to-right; leftward-or-stay moves only.
+        let first_real = self.tags.buffered_reals_before(p_dst);
+        let head_rank0 = self.tags.slot_rank(p_dst);
+        for i in 0..a1 {
+            let p = self.tags.buffered_real_pos(first_real + i).expect("real vanished");
+            let slot = self.tags.slot_pos(head_rank0 + i);
+            debug_assert!(slot <= p);
+            if slot != p {
+                if self.tags.tag(slot) == SlotTag::F {
+                    debug_assert!(!self.tags.contents.is_occupied(slot));
+                    self.tags.retag(slot, SlotTag::Buf);
+                }
+                let e = self.tags.move_content(p, slot);
+                self.note_deadweight(e, slot);
+            }
+        }
+        // 2. Move x to the pivot; the pivot becomes an F-slot. (#F-tags
+        //    before q is now exactly dst_fidx: the head retags removed the
+        //    span's below-q F-tags, including p_dst's.)
+        self.tags.move_content(start, q);
+        if self.tags.tag(q) != SlotTag::F {
+            self.tags.retag(q, SlotTag::F);
+        }
+        // 3. Restore the F-count on dummies strictly inside (q, start):
+        //    above the pivot so x's landing index stays exact, inside the
+        //    span so outside F-indices are unchanged.
+        while self.tags.f_count() < f_total {
+            let k = self.tags.dummies_before(q + 1);
+            let dpos = self.tags.dummy_pos(k).expect("no dummy right of the pivot");
+            debug_assert!(dpos < start || self.tags.tag(start) == SlotTag::Buf);
+            debug_assert!(dpos <= start, "restore slot outside span");
+            self.tags.retag(dpos, SlotTag::F);
+        }
+        debug_assert_eq!(self.tags.f_count(), f_total);
+        debug_assert_eq!(self.tags.f_index_of(q), dst_fidx, "landing index off");
+    }
+
+    /// Relocate the `cur_f` occupant of `from_fidx` to the empty F-slot
+    /// `to_fidx`: physically for live elements, bookkeeping-only for ghosts.
+    fn emulator_relocate(&mut self, from_fidx: usize, to_fidx: usize) {
+        if from_fidx == to_fidx {
+            return;
+        }
+        let e = self.cur_f[from_fidx].take().expect("relocate from empty F-slot");
+        self.fen_curf.add(from_fidx, -1);
+        debug_assert!(self.cur_f[to_fidx].is_none(), "relocate into occupied F-slot");
+        if let Some(g) = self.ghosts.get_mut(&e) {
+            debug_assert_eq!(*g, from_fidx);
+            *g = to_fidx;
+        } else {
+            let src = self.tags.f_pos(from_fidx);
+            let dst = self.tags.f_pos(to_fidx);
+            if src < dst {
+                self.emulator_move_right(src, to_fidx);
+            } else {
+                self.emulator_move_left(src, to_fidx);
+            }
+            self.elem_loc.insert(e, Loc::F(to_fidx));
+        }
+        self.cur_f[to_fidx] = Some(e);
+        self.fen_curf.add(to_fidx, 1);
+    }
+
+    /// Mirror the simulated copy's moves onto the physical array (fast path
+    /// only: the physical F-layout matches the simulation's pre-op state).
+    fn mirror_sim_moves(&mut self, rep: &OpReport) {
+        for mv in &rep.moves {
+            if mv.from == mv.to {
+                continue; // placement, handled by the caller
+            }
+            self.emulator_relocate(mv.from as usize, mv.to as usize);
+        }
+    }
+
+    /// Record the simulation's touched F-coordinates for the next diff.
+    fn note_dirty(&mut self, rep: &OpReport) {
+        for mv in &rep.moves {
+            self.dirty.insert(mv.from as usize);
+            self.dirty.insert(mv.to as usize);
+        }
+        if let Some((_, p)) = rep.placed {
+            self.dirty.insert(p as usize);
+        }
+        if let Some((_, p)) = rep.removed {
+            self.dirty.insert(p as usize);
+        }
+    }
+
+    // ----- R-shell interaction ----------------------------------------------
+
+    /// Mirror an R-shell report in stream order. Slot moves relocate tags
+    /// and contents; when the report contains a placement, the placed slot
+    /// is retagged `placed_tag` at its position in the stream (later moves
+    /// may relocate the new slot, e.g. when the shell is itself an
+    /// embedding doing rebuild work after buffering).
+    /// Returns the *final* position of the placed slot (the shell may move
+    /// a freshly placed slot again within the same operation, e.g. when the
+    /// shell is itself an embedding doing rebuild work after buffering).
+    fn mirror_shell(&mut self, rep: &OpReport, placed_tag: Option<SlotTag>) -> Option<usize> {
+        let pid = rep.placed.map(|(id, _)| id);
+        let mut placed_pos: Option<usize> = None;
+        for mv in &rep.moves {
+            if mv.from == mv.to {
+                if let (Some(tag), Some(pid)) = (placed_tag, pid) {
+                    if mv.elem == pid {
+                        self.tags.retag(mv.from as usize, tag);
+                        placed_pos = Some(mv.from as usize);
+                    }
+                }
+                continue;
+            }
+            if let Some(e) = self.tags.move_slot(mv.from as usize, mv.to as usize) {
+                self.stats.r_shell_moves += 1;
+                if self.tags.tag(mv.to as usize) == SlotTag::Buf {
+                    self.elem_loc.insert(e, Loc::Buffer(mv.to as usize));
+                }
+            }
+            if placed_pos == Some(mv.from as usize) {
+                placed_pos = Some(mv.to as usize);
+            }
+        }
+        if let (Some(tag), Some((_, ppos))) = (placed_tag, rep.placed) {
+            // Only if the placement entry never appeared in the stream
+            // (all ListLabeling impls log placements; this is a fallback).
+            if placed_pos.is_none() {
+                self.tags.retag(ppos as usize, tag);
+                placed_pos = Some(ppos as usize);
+            }
+        }
+        placed_pos
+    }
+
+    /// Mirror an R-shell *delete* report. The shell may move the doomed
+    /// slot before removing it and may move other slots into the vacated
+    /// position afterwards, so the white-out is sequenced by tracking the
+    /// doomed slot's position through the stream.
+    fn mirror_shell_delete(&mut self, rep: &OpReport, dummy_start: usize) {
+        let mut dpos = dummy_start;
+        let mut whitened = false;
+        for mv in &rep.moves {
+            if mv.from == mv.to {
+                continue;
+            }
+            let (from, to) = (mv.from as usize, mv.to as usize);
+            if !whitened && from == dpos {
+                // The doomed slot itself is being relocated (pre-removal).
+                self.tags.move_slot(from, to);
+                dpos = to;
+                continue;
+            }
+            if !whitened && to == dpos {
+                // Someone moves into the doomed position: the removal must
+                // have happened before this move.
+                self.tags.retag(dpos, SlotTag::White);
+                whitened = true;
+            }
+            if let Some(e) = self.tags.move_slot(from, to) {
+                self.stats.r_shell_moves += 1;
+                if self.tags.tag(to) == SlotTag::Buf {
+                    self.elem_loc.insert(e, Loc::Buffer(to));
+                }
+            }
+        }
+        if !whitened {
+            debug_assert_eq!(rep.removed.map(|(_, p)| p as usize), Some(dpos));
+            self.tags.retag(dpos, SlotTag::White);
+        }
+    }
+
+    /// Slow-path part (a): buffer a new element in the R-shell at `rank`.
+    fn buffer_insert(&mut self, rank: usize, emb_id: ElemId) -> usize {
+        // (i) delete an arbitrary (nearest) dummy buffer slot via R.
+        let anchor = if rank > 0 { self.tags.contents.select(rank - 1) } else { 0 };
+        let dummy = match self.tags.nearest_dummy(anchor) {
+            Some(d) => d,
+            None => {
+                // Lemma 7 says this cannot happen asymptotically; as an
+                // engineering safety valve we force a full catch-up, which
+                // incorporates every buffered element.
+                self.stats.forced_catchups += 1;
+                self.force_catch_up();
+                self.tags.nearest_dummy(anchor).expect("no dummy even after full catch-up")
+            }
+        };
+        let dummy_rank = self.tags.slot_rank(dummy);
+        if let Some(t) = &mut self.shell_trace {
+            t.push((false, dummy_rank));
+        }
+        let rep_d = self.shell.delete(dummy_rank);
+        self.mirror_shell_delete(&rep_d, dummy);
+        // (ii) insert a fresh buffer slot at x's slot rank via R.
+        let slot_rank = if rank == 0 {
+            0
+        } else {
+            self.tags.slot_rank(self.tags.contents.select(rank - 1)) + 1
+        };
+        if let Some(t) = &mut self.shell_trace {
+            t.push((true, slot_rank));
+        }
+        let rep_i = self.shell.insert(slot_rank);
+        let p_new = self
+            .mirror_shell(&rep_i, Some(SlotTag::Buf))
+            .expect("shell insert must place");
+        debug_assert_eq!(self.tags.tag(p_new), SlotTag::Buf);
+        // (iii) put x into the new buffer slot.
+        self.tags.place_content(p_new, emb_id);
+        self.elem_loc.insert(emb_id, Loc::Buffer(p_new));
+        self.deadweight.insert(emb_id, 0);
+        self.stats.max_buffered = self.stats.max_buffered.max(self.buffered());
+        p_new
+    }
+
+    // ----- checkpoints and rebuilds (Figures 3–4) ----------------------------
+
+    /// The embedding's element at the simulation's F-coordinate `fidx`.
+    fn sim_emb_at(&self, fidx: usize) -> Option<ElemId> {
+        self.sim.slots().get(fidx).map(|sid| self.sim2emb[sid.0 as usize])
+    }
+
+    /// If no rebuild is pending but the physical layout diverged from the
+    /// simulation, freeze a new checkpoint (Figure 3's interval
+    /// decomposition, computed from the dirty set).
+    fn ensure_checkpoint(&mut self) {
+        if self.checkpoint.is_some() || self.dirty.is_empty() {
+            return;
+        }
+        let dirty = std::mem::take(&mut self.dirty);
+        let mut q: Vec<usize> = Vec::with_capacity(dirty.len());
+        for d in dirty {
+            if self.cur_f[d] != self.sim_emb_at(d) {
+                q.push(d);
+            }
+        }
+        if q.is_empty() {
+            return;
+        }
+        // Group dirty positions into maximal intervals separated by fixed
+        // (blocking) elements.
+        let mut jobs: Vec<IntervalJob> = Vec::new();
+        let mut lo = q[0];
+        let mut hi = q[0];
+        for &d in &q[1..] {
+            let blocked = self.fen_curf.range(hi + 1, d) > 0;
+            if blocked {
+                jobs.push(self.make_job(lo, hi));
+                lo = d;
+            }
+            hi = d;
+        }
+        jobs.push(self.make_job(lo, hi));
+        self.checkpoint = Some(Checkpoint { jobs, job_idx: 0 });
+        self.stats.rebuilds_started += 1;
+        self.rebuild_span = 0;
+    }
+
+    /// Freeze the target layout of one interval.
+    fn make_job(&self, f_lo: usize, f_hi: usize) -> IntervalJob {
+        let occ = self.sim.slots().occ();
+        let mut targets = Vec::new();
+        let mut k = occ.prefix(f_lo);
+        while let Some(pos) = occ.select(k) {
+            if pos > f_hi {
+                break;
+            }
+            let e = self.sim_emb_at(pos).expect("occupied sim slot");
+            targets.push((pos, e));
+            k += 1;
+        }
+        let target_set = targets.iter().map(|&(_, e)| e).collect();
+        IntervalJob {
+            f_hi,
+            targets,
+            target_set,
+            phase: 0,
+            scan: f_lo,
+            pack_next: f_lo,
+            placed: 0,
+            deferred: Vec::new(),
+            placed2: 0,
+        }
+    }
+
+    /// Execute pending rebuild work, spending at most `budget` physical
+    /// moves (deadweight included, as the paper specifies). Completes the
+    /// checkpoint and immediately freezes the next one when done.
+    fn run_checkpoint(&mut self, budget: u64) {
+        let Some(mut cp) = self.checkpoint.take() else { return };
+        let start = self.tags.contents.lifetime_moves();
+        while cp.job_idx < cp.jobs.len() {
+            if self.tags.contents.lifetime_moves() - start >= budget {
+                break;
+            }
+            let job = &mut cp.jobs[cp.job_idx];
+            if job.phase == 0 {
+                if job.scan > job.f_hi {
+                    job.phase = 1;
+                    continue;
+                }
+                let i = job.scan;
+                job.scan += 1;
+                if let Some(e) = self.cur_f[i] {
+                    let dead = !self.elem_loc.contains_key(&e);
+                    if dead && !job.target_set.contains(&e) {
+                        // Drop a ghost that the checkpoint no longer holds.
+                        self.cur_f[i] = None;
+                        self.fen_curf.add(i, -1);
+                        self.ghosts.remove(&e);
+                        continue;
+                    }
+                    let dest = job.pack_next;
+                    job.pack_next += 1;
+                    let _ = job;
+                    self.emulator_relocate(i, dest);
+                }
+            } else if job.phase == 1 {
+                if job.placed >= job.targets.len() {
+                    job.phase = 2;
+                    continue;
+                }
+                let idx = job.targets.len() - 1 - job.placed;
+                let (t_fidx, e) = job.targets[idx];
+                job.placed += 1;
+                // Defer buffered elements whose slot is right of their
+                // target: incorporating them leftward now would park their
+                // crossed deadweight into the path of the next leftward
+                // incorporation (re-crossing). They run in ascending order
+                // in phase 2 instead.
+                if let Some(Loc::Buffer(pos)) = self.elem_loc.get(&e).copied() {
+                    if pos > self.tags.f_pos(t_fidx) {
+                        job.deferred.push((t_fidx, e));
+                        continue;
+                    }
+                }
+                let _ = job;
+                self.place_target(t_fidx, e);
+            } else {
+                if job.placed2 >= job.deferred.len() {
+                    cp.job_idx += 1;
+                    continue;
+                }
+                // deferred was pushed in descending target order; consume
+                // from the back for ascending incorporation.
+                let idx = job.deferred.len() - 1 - job.placed2;
+                let (t_fidx, e) = job.deferred[idx];
+                job.placed2 += 1;
+                let _ = job;
+                self.place_target(t_fidx, e);
+            }
+        }
+        if cp.job_idx >= cp.jobs.len() {
+            self.stats.rebuilds_completed += 1;
+            self.stats.max_rebuild_span = self.stats.max_rebuild_span.max(self.rebuild_span);
+            self.checkpoint = None;
+            // Paper step (b)(iii): freeze the next checkpoint immediately.
+            self.ensure_checkpoint();
+        } else {
+            self.checkpoint = Some(cp);
+        }
+    }
+
+    /// Phase-1 placement of one checkpoint target (rightward placement /
+    /// incorporation of Figure 4).
+    fn place_target(&mut self, t_fidx: usize, e: ElemId) {
+        match self.elem_loc.get(&e).copied() {
+            Some(Loc::F(fidx)) => {
+                self.emulator_relocate(fidx, t_fidx);
+            }
+            Some(Loc::Buffer(pos)) => {
+                // Incorporation: the buffer slot stays a buffer slot (it
+                // becomes a dummy); the element enters A_F.
+                let p_dst = self.tags.f_pos(t_fidx);
+                if pos < p_dst {
+                    self.emulator_move_right(pos, t_fidx);
+                } else {
+                    self.emulator_move_left(pos, t_fidx);
+                }
+                self.elem_loc.insert(e, Loc::F(t_fidx));
+                debug_assert!(self.cur_f[t_fidx].is_none());
+                self.cur_f[t_fidx] = Some(e);
+                self.fen_curf.add(t_fidx, 1);
+                self.stats.incorporations += 1;
+                if let Some(d) = self.deadweight.remove(&e) {
+                    self.stats.record_deadweight(d);
+                }
+            }
+            None => {
+                if self.pending_insert == Some(e) {
+                    // The in-flight insertion: it exists in the simulation
+                    // but has no physical slot yet. Leave its target to the
+                    // next checkpoint (re-mark it dirty so that checkpoint
+                    // is created).
+                    self.dirty.insert(t_fidx);
+                    return;
+                }
+                // Deleted element that the frozen checkpoint still contains.
+                if let Some(&g) = self.ghosts.get(&e) {
+                    self.emulator_relocate(g, t_fidx);
+                } else {
+                    // Deleted while buffered: materialize as a ghost.
+                    debug_assert!(self.cur_f[t_fidx].is_none());
+                    self.cur_f[t_fidx] = Some(e);
+                    self.fen_curf.add(t_fidx, 1);
+                    self.ghosts.insert(e, t_fidx);
+                    if let Some(d) = self.deadweight.remove(&e) {
+                        self.stats.record_deadweight(d);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Slow-path part (b): Θ(E_R) rebuild work, plus the paper's steps
+    /// (ii)–(iv) (finish rebuilds that have < E_R work left, so a pending
+    /// rebuild always has Ω(E_R) work remaining).
+    fn rebuild_work(&mut self) {
+        self.ensure_checkpoint();
+        self.run_checkpoint(self.rebuild_budget);
+        for _ in 0..4 {
+            match &self.checkpoint {
+                Some(cp) if (cp.planned_remaining() as f64) < self.er_budget => {
+                    self.run_checkpoint(u64::MAX);
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Complete every pending rebuild (and the next, which incorporates all
+    /// still-buffered elements).
+    fn force_catch_up(&mut self) {
+        self.ensure_checkpoint();
+        self.run_checkpoint(u64::MAX);
+        self.ensure_checkpoint();
+        self.run_checkpoint(u64::MAX);
+        debug_assert_eq!(self.buffered(), 0, "catch-up left buffered elements");
+    }
+
+    /// Test/diagnostic invariant audit (O(m); not used on hot paths).
+    pub fn check_invariants(&self) {
+        self.tags.check_consistent();
+        // Physical F contents agree with cur_f minus ghosts.
+        for fidx in 0..self.cur_f.len() {
+            let pos = self.tags.f_pos(fidx);
+            let phys = self.tags.contents.get(pos);
+            match self.cur_f[fidx] {
+                Some(e) if self.ghosts.contains_key(&e) => {
+                    assert_eq!(phys, None, "ghost slot {fidx} has physical content");
+                }
+                Some(e) => {
+                    assert_eq!(phys, Some(e), "F-slot {fidx} content mismatch");
+                    assert_eq!(self.elem_loc.get(&e), Some(&Loc::F(fidx)));
+                }
+                None => assert_eq!(phys, None, "free F-slot {fidx} has content"),
+            }
+        }
+        // Buffered elements agree with elem_loc.
+        for (&e, &loc) in &self.elem_loc {
+            if let Loc::Buffer(pos) = loc {
+                assert_eq!(self.tags.contents.get(pos), Some(e));
+                assert_eq!(self.tags.tag(pos), SlotTag::Buf);
+            }
+        }
+        // No pending rebuild ⟹ fully caught up (Lemma 10's precondition).
+        if self.checkpoint.is_none() && self.dirty.is_empty() {
+            assert_eq!(self.buffered(), 0, "caught up but elements still buffered");
+            assert!(self.ghosts.is_empty(), "caught up but ghosts remain");
+        }
+    }
+}
+
+impl<F: ListLabeling, R: ListLabeling> ListLabeling for Embed<F, R> {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn num_slots(&self) -> usize {
+        self.tags.num_slots()
+    }
+
+    fn len(&self) -> usize {
+        self.tags.contents.len()
+    }
+
+    fn insert(&mut self, rank: usize) -> OpReport {
+        let len = self.len();
+        assert!(rank <= len, "insert rank {rank} > len {len}");
+        assert!(len < self.capacity, "at capacity");
+        if self.checkpoint.is_some() {
+            self.rebuild_span += 1;
+        }
+        let sim_rep = self.sim.insert(rank);
+        let c_e = sim_rep.cost();
+        let (sim_id, sim_fidx) = sim_rep.placed.expect("sim insert must place");
+        debug_assert_eq!(sim_id.0 as usize, self.sim2emb.len(), "sim ids must be dense");
+        let emb_id = self.ids.fresh();
+        self.sim2emb.push(emb_id);
+        let placed_pos;
+        if self.checkpoint.is_none() && (c_e as f64) <= self.er_budget {
+            // Fast path: emulate F directly, interleaving the placement at
+            // its position in the simulation's move stream (a simulated F
+            // that is itself an embedding places mid-operation and may move
+            // the new element again before the operation ends).
+            self.stats.fast_ops += 1;
+            debug_assert_eq!(self.buffered(), 0);
+            let mut placed = false;
+            for mv in &sim_rep.moves {
+                if mv.from == mv.to {
+                    if mv.elem == sim_id {
+                        let fidx = mv.from as usize;
+                        let pos = self.tags.f_pos(fidx);
+                        self.tags.place_content(pos, emb_id);
+                        self.cur_f[fidx] = Some(emb_id);
+                        self.fen_curf.add(fidx, 1);
+                        self.elem_loc.insert(emb_id, Loc::F(fidx));
+                        placed = true;
+                    }
+                    continue;
+                }
+                self.emulator_relocate(mv.from as usize, mv.to as usize);
+            }
+            if !placed {
+                // Fallback for simulations that do not log placements.
+                let fidx = sim_fidx as usize;
+                let pos = self.tags.f_pos(fidx);
+                self.tags.place_content(pos, emb_id);
+                self.cur_f[fidx] = Some(emb_id);
+                self.fen_curf.add(fidx, 1);
+                self.elem_loc.insert(emb_id, Loc::F(fidx));
+            }
+            let fidx_now = match self.elem_loc[&emb_id] {
+                Loc::F(f) => f,
+                Loc::Buffer(_) => unreachable!("fast path cannot buffer"),
+            };
+            placed_pos = self.tags.f_pos(fidx_now);
+        } else {
+            // Slow path: buffer in the R-shell, then do rebuild work. The
+            // rebuild may incorporate the fresh element immediately, so the
+            // reported placement is its final slot at the end of the op.
+            self.stats.slow_ops += 1;
+            self.note_dirty(&sim_rep);
+            self.pending_insert = Some(emb_id);
+            self.buffer_insert(rank, emb_id);
+            self.pending_insert = None;
+            self.rebuild_work();
+            placed_pos = match self.elem_loc[&emb_id] {
+                Loc::F(f) => self.tags.f_pos(f),
+                Loc::Buffer(p) => p,
+            };
+        }
+        OpReport {
+            moves: self.tags.contents.drain_log(),
+            placed: Some((emb_id, placed_pos as u32)),
+            removed: None,
+        }
+    }
+
+    fn delete(&mut self, rank: usize) -> OpReport {
+        let len = self.len();
+        assert!(rank < len, "delete rank {rank} >= len {len}");
+        if self.checkpoint.is_some() {
+            self.rebuild_span += 1;
+        }
+        let pos = self.tags.contents.select(rank);
+        let e = self.tags.contents.get(pos).expect("selected slot empty");
+        let sim_rep = self.sim.delete(rank);
+        let c_e = sim_rep.cost();
+        debug_assert_eq!(
+            sim_rep.removed.map(|(sid, _)| self.sim2emb[sid.0 as usize]),
+            Some(e),
+            "sim deleted a different element"
+        );
+        let loc = self.elem_loc.remove(&e).expect("deleting unknown element");
+        if self.checkpoint.is_none() && (c_e as f64) <= self.er_budget {
+            // Fast path.
+            self.stats.fast_ops += 1;
+            let Loc::F(fidx) = loc else { unreachable!("buffered element on fast path") };
+            self.tags.remove_content(pos);
+            self.cur_f[fidx] = None;
+            self.fen_curf.add(fidx, -1);
+            self.mirror_sim_moves(&sim_rep);
+        } else {
+            // Slow path: remove physically, leave a ghost if it was in A_F.
+            self.stats.slow_ops += 1;
+            self.note_dirty(&sim_rep);
+            self.tags.remove_content(pos);
+            match loc {
+                Loc::F(fidx) => {
+                    self.ghosts.insert(e, fidx);
+                }
+                Loc::Buffer(_) => {
+                    if let Some(d) = self.deadweight.remove(&e) {
+                        self.stats.record_deadweight(d);
+                    }
+                }
+            }
+            self.rebuild_work();
+        }
+        OpReport {
+            moves: self.tags.contents.drain_log(),
+            placed: None,
+            removed: Some((e, pos as u32)),
+        }
+    }
+
+    fn slots(&self) -> &SlotArray {
+        &self.tags.contents
+    }
+
+    fn name(&self) -> &'static str {
+        "embed"
+    }
+}
+
+/// Builder for [`Embed`], wiring the paper's §3 slot budgets: the
+/// F-emulator gets `(1+ε)n` slots, the shell capacity `(1+2ε)n` on all
+/// `m ≥ (1+3ε)n` slots.
+#[derive(Clone, Debug)]
+pub struct EmbedBuilder<FB, RB> {
+    /// Builder for the fast structure F.
+    pub f: FB,
+    /// Builder for the reliable structure R.
+    pub r: RB,
+    /// Embedding parameters.
+    pub cfg: EmbedConfig,
+}
+
+impl<FB: LabelingBuilder, RB: LabelingBuilder> EmbedBuilder<FB, RB> {
+    /// Builder with default configuration.
+    pub fn new(f: FB, r: RB) -> Self {
+        Self { f, r, cfg: EmbedConfig::default() }
+    }
+}
+
+impl<FB: LabelingBuilder, RB: LabelingBuilder> LabelingBuilder for EmbedBuilder<FB, RB> {
+    type Structure = Embed<FB::Structure, RB::Structure>;
+
+    fn build(&self, capacity: usize, num_slots: usize) -> Self::Structure {
+        let eps_n = ((capacity as f64 * self.cfg.epsilon).ceil() as usize).max(1);
+        // F gets (1+ε)n slots, or more if F itself needs extra slack (e.g.
+        // when F is another embedding).
+        let f_slots = (capacity + eps_n)
+            .max((capacity as f64 * self.f.min_slack()).ceil() as usize + 1);
+        let r_cap = f_slots + eps_n;
+        assert!(
+            num_slots >= r_cap + eps_n,
+            "embedding needs ≥ {} slots for n={capacity}, ε={}: got m={num_slots}",
+            r_cap + eps_n,
+            self.cfg.epsilon
+        );
+        let sim = self.f.build(capacity, f_slots);
+        let shell = self.r.build(r_cap, num_slots);
+        let er = self.r.expected_cost_hint(r_cap) * self.cfg.er_mult;
+        Embed::new(capacity, sim, shell, er, self.cfg.rebuild_mult)
+    }
+
+    fn min_slack(&self) -> f64 {
+        // F's slot share (≥ 1+ε), plus a buffer and a free share of ε each,
+        // and enough total room for R's own slack at capacity (1+2ε)n.
+        let eps = self.cfg.epsilon;
+        let f_share = (1.0 + eps).max(self.f.min_slack() + 0.01);
+        let own = f_share + 2.0 * eps;
+        let r_need = self.r.min_slack() * (f_share + eps);
+        own.max(r_need) + 0.02
+    }
+
+    fn expected_cost_hint(&self, capacity: usize) -> f64 {
+        // The embedding's good-case guarantee tracks F (Theorem 2); when the
+        // result is used as an R, its lightly-amortized expected cost is
+        // F's input-independent bound.
+        self.f.expected_cost_hint(capacity)
+    }
+
+    fn worst_case_hint(&self, capacity: usize) -> f64 {
+        // Worst case tracks R (Theorem 2), plus the Θ(E_R) rebuild work.
+        self.r.worst_case_hint(capacity)
+            + self.cfg.rebuild_mult * self.r.expected_cost_hint(capacity)
+    }
+}

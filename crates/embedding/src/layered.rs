@@ -1,0 +1,120 @@
+//! Theorem 3's double embedding `X ⊳ (Y ⊳ Z)` and the paper's concrete
+//! instantiations (Corollaries 11 and 12).
+//!
+//! Because [`Embed`] is itself a [`ListLabeling`] built from two
+//! [`LabelingBuilder`]s, the double embedding is literally a nested type:
+//! `Embed<X, Embed<Y, Z>>`. The builders below wire up the slot budgets:
+//! the outer embedding uses ε = 1/3 and the inner ε = 1/6 so that every
+//! layer keeps workable density slack (the paper's footnote 4: achieving
+//! overall slack ε requires ε/3 per application).
+
+use crate::embed::{Embed, EmbedBuilder, EmbedConfig};
+use lll_adaptive::{AdaptiveBuilder, AdaptivePma};
+use lll_core::rng::derive_seed;
+use lll_core::traits::LabelingBuilder;
+use lll_deamortized::{DeamortizedBuilder, DeamortizedPma};
+use lll_predictions::{PredictedBuilder, PredictedPma, RankPredictor, VecPredictor};
+use lll_randomized::{RandomizedBuilder, RandomizedPma};
+
+/// The inner embedding `Y ⊳ Z`: randomized expected-cost structure embedded
+/// in a worst-case-bounded structure.
+pub type InnerYZ = Embed<RandomizedPma, DeamortizedPma>;
+
+/// Corollary 11's structure: `X ⊳ (Y ⊳ Z)` with X = adaptive PMA,
+/// Y = randomized PMA, Z = deamortized PMA.
+pub type Corollary11 = Embed<AdaptivePma, InnerYZ>;
+
+/// Corollary 12's structure: the learning-augmented PMA layered over the
+/// same `Y ⊳ Z`.
+pub type Corollary12<P> = Embed<PredictedPma<P>, InnerYZ>;
+
+/// Builder type of [`Corollary11`].
+pub type Corollary11Builder =
+    EmbedBuilder<AdaptiveBuilder, EmbedBuilder<RandomizedBuilder, DeamortizedBuilder>>;
+
+/// Builder type of [`Corollary12`].
+pub type Corollary12Builder<P> =
+    EmbedBuilder<PredictedBuilder<P>, EmbedBuilder<RandomizedBuilder, DeamortizedBuilder>>;
+
+/// The default outer/inner embedding parameters for the double embedding.
+pub fn layered_configs() -> (EmbedConfig, EmbedConfig) {
+    let outer = EmbedConfig { epsilon: 1.0 / 3.0, ..EmbedConfig::default() };
+    let inner = EmbedConfig { epsilon: 1.0 / 6.0, ..EmbedConfig::default() };
+    (outer, inner)
+}
+
+/// The inner `Y ⊳ Z` builder with an independent random tape derived from
+/// `seed` (Lemma 4 requires each layer's randomness to be independent).
+pub fn inner_yz_builder(seed: u64) -> EmbedBuilder<RandomizedBuilder, DeamortizedBuilder> {
+    let (_, inner_cfg) = layered_configs();
+    EmbedBuilder {
+        f: RandomizedBuilder::with_seed(derive_seed(seed, 0x59)),
+        r: DeamortizedBuilder::default(),
+        cfg: inner_cfg,
+    }
+}
+
+/// Builder for Corollary 11's `X ⊳ (Y ⊳ Z)`.
+pub fn corollary11_builder(seed: u64) -> Corollary11Builder {
+    let (outer_cfg, _) = layered_configs();
+    EmbedBuilder { f: AdaptiveBuilder::default(), r: inner_yz_builder(seed), cfg: outer_cfg }
+}
+
+/// Corollary 11's structure for `n` elements, with all random tapes derived
+/// from `seed`. Uses the builder's default slot budget (≈ 2.4·n slots —
+/// the compounded (1+3ε) factors of the two embeddings).
+///
+/// ```
+/// use lll_core::traits::ListLabeling;
+/// let mut list = lll_embedding::corollary11(256, 42);
+/// for _ in 0..128 {
+///     list.insert(0); // hammer-insert: the adaptive layer's specialty
+/// }
+/// assert_eq!(list.len(), 128);
+/// assert!(list.stats().max_deadweight <= 4); // Lemma 5
+/// ```
+pub fn corollary11(n: usize, seed: u64) -> Corollary11 {
+    corollary11_builder(seed).build_default(n)
+}
+
+/// Builder for Corollary 12's learning-augmented layered structure, given
+/// the per-insertion predictions and the error budget η.
+pub fn corollary12_builder(
+    eta: usize,
+    predictions: Vec<usize>,
+    seed: u64,
+) -> Corollary12Builder<VecPredictor> {
+    let (outer_cfg, _) = layered_configs();
+    EmbedBuilder {
+        f: PredictedBuilder { eta, predictor: VecPredictor::new(predictions) },
+        r: inner_yz_builder(seed),
+        cfg: outer_cfg,
+    }
+}
+
+/// Corollary 12's structure for `n` elements.
+pub fn corollary12(
+    n: usize,
+    eta: usize,
+    predictions: Vec<usize>,
+    seed: u64,
+) -> Corollary12<VecPredictor> {
+    corollary12_builder(eta, predictions, seed).build_default(n)
+}
+
+/// A generic two-layer embedding over any predictor (for custom predictors
+/// beyond the oracle-based [`VecPredictor`]).
+pub fn corollary12_with<P: RankPredictor>(
+    n: usize,
+    eta: usize,
+    predictor: P,
+    seed: u64,
+) -> Corollary12<P> {
+    let (outer_cfg, _) = layered_configs();
+    let b = EmbedBuilder {
+        f: PredictedBuilder { eta, predictor },
+        r: inner_yz_builder(seed),
+        cfg: outer_cfg,
+    };
+    b.build_default(n)
+}

@@ -1,0 +1,304 @@
+//! Unit tests for the embedding: oracle agreement on every workload shape,
+//! the paper's lemma-level invariants, Figure-1 view consistency, and
+//! composition (nesting) mechanics.
+
+use crate::embed::{EmbedBuilder, EmbedConfig};
+use crate::layered::{corollary11, corollary12};
+use crate::views;
+use lll_adaptive::AdaptiveBuilder;
+use lll_classic::ClassicBuilder;
+use lll_core::ops::Op;
+use lll_core::testkit::{run_against_oracle, Oracle};
+use lll_core::traits::{LabelingBuilder, ListLabeling};
+use rand::{Rng, SeedableRng};
+
+type SimpleEmbed = EmbedBuilder<AdaptiveBuilder, ClassicBuilder>;
+
+fn simple_builder() -> SimpleEmbed {
+    EmbedBuilder::new(AdaptiveBuilder::default(), ClassicBuilder)
+}
+
+fn mixed_ops(n: usize, total: usize, seed: u64, p_ins: f64) -> Vec<Op> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut ops = Vec::new();
+    let mut len = 0usize;
+    for _ in 0..total {
+        if len == 0 || (len < n && rng.gen_bool(p_ins)) {
+            ops.push(Op::Insert(rng.gen_range(0..=len)));
+            len += 1;
+        } else {
+            ops.push(Op::Delete(rng.gen_range(0..len)));
+            len -= 1;
+        }
+    }
+    ops
+}
+
+#[test]
+fn embed_oracle_random_inserts() {
+    let n = 300;
+    let mut e = simple_builder().build_default(n);
+    let ops: Vec<Op> = {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        (0..n).map(|len| Op::Insert(rng.gen_range(0..=len))).collect()
+    };
+    run_against_oracle(&mut e, &ops, 29);
+    e.check_invariants();
+}
+
+#[test]
+fn embed_oracle_hammer() {
+    let n = 400;
+    let mut e = simple_builder().build_default(n);
+    let ops: Vec<Op> = (0..n).map(|_| Op::Insert(0)).collect();
+    run_against_oracle(&mut e, &ops, 37);
+    e.check_invariants();
+}
+
+#[test]
+fn embed_oracle_churn() {
+    let n = 250;
+    let mut e = simple_builder().build_default(n);
+    let ops = mixed_ops(n, 3000, 11, 0.55);
+    run_against_oracle(&mut e, &ops, 101);
+    e.check_invariants();
+}
+
+#[test]
+fn embed_oracle_churn_step_checked() {
+    // Small but brutally checked: full layout comparison after every op.
+    let n = 60;
+    let mut e = simple_builder().build_default(n);
+    let ops = mixed_ops(n, 800, 13, 0.6);
+    let mut oracle = Oracle::new();
+    for &op in &ops {
+        let rep = e.apply(op);
+        match op {
+            Op::Insert(r) => oracle.insert(r, rep.placed.unwrap().0),
+            Op::Delete(r) => oracle.delete(r, rep.removed.unwrap().0),
+        }
+        oracle.check(&e);
+    }
+    e.check_invariants();
+}
+
+#[test]
+fn embed_uses_both_paths() {
+    let n = 1 << 11;
+    let mut e = simple_builder().build_default(n);
+    for _ in 0..n {
+        e.insert(0); // hammering forces occasional expensive sim ops
+    }
+    let s = e.stats();
+    assert!(s.fast_ops > 0, "no fast-path ops");
+    assert!(s.slow_ops > 0, "hammering should trigger slow-path ops");
+    assert!(s.rebuilds_completed > 0, "rebuilds should complete");
+}
+
+#[test]
+fn lemma5_deadweight_at_most_4() {
+    let n = 1 << 12;
+    let mut e = simple_builder().build_default(n);
+    let ops = mixed_ops(n, 2 * n, 17, 0.7);
+    for &op in &ops {
+        e.apply(op);
+    }
+    let s = e.stats();
+    assert!(
+        s.max_deadweight <= 4,
+        "Lemma 5 violated: an element took {} deadweight moves (hist {:?})",
+        s.max_deadweight,
+        s.deadweight_hist
+    );
+}
+
+#[test]
+fn lemma7_buffer_occupancy_small() {
+    let n = 1 << 12;
+    let mut e = simple_builder().build_default(n);
+    for _ in 0..n {
+        e.insert(0);
+    }
+    let s = e.stats();
+    assert!(s.forced_catchups == 0, "halting condition fired");
+    assert!(s.max_buffered < n / 3, "buffer occupancy {} too large for n={n}", s.max_buffered);
+}
+
+#[test]
+fn slot_counts_conserved() {
+    let n = 500;
+    let mut e = simple_builder().build_default(n);
+    let (f0, b0) = {
+        let tags = e.tag_array();
+        (tags.f_count(), tags.buf_count())
+    };
+    let ops = mixed_ops(n, 2000, 23, 0.6);
+    for &op in &ops {
+        e.apply(op);
+    }
+    let tags = e.tag_array();
+    assert_eq!(tags.f_count(), f0, "F-slot count changed");
+    assert_eq!(tags.buf_count(), b0, "buffer slot count changed");
+    e.check_invariants();
+}
+
+#[test]
+fn figure1_views_are_consistent() {
+    let n = 64;
+    let mut e = simple_builder().build_default(n);
+    for i in 0..n / 2 {
+        e.insert(i / 3);
+    }
+    let full = views::embedding_view(&e);
+    let emu = views::emulator_view(&e);
+    let shell = views::shell_view(&e);
+    assert_eq!(full.chars().count(), e.num_slots());
+    assert_eq!(shell.chars().count(), e.num_slots());
+    // F-emulator view has exactly the F-slots.
+    assert_eq!(emu.chars().count(), e.tag_array().f_count());
+    // R sees non-white exactly where the embedding has F/Buf slots.
+    for (c_full, c_shell) in full.chars().zip(shell.chars()) {
+        assert_eq!(c_full == '.', c_shell == '.');
+    }
+    // Occupied F-slots in both views agree in number.
+    let x_count = emu.chars().filter(|&c| c == 'X').count();
+    let f_count = full.chars().filter(|&c| c == 'F').count();
+    assert_eq!(x_count, f_count);
+}
+
+#[test]
+fn nested_embedding_works() {
+    // Embed an embedding: (adaptive ⊳ classic) used as the R of an outer
+    // embedding — the composition mechanics of Theorem 3.
+    let inner = EmbedBuilder {
+        f: AdaptiveBuilder::default(),
+        r: ClassicBuilder,
+        cfg: EmbedConfig { epsilon: 1.0 / 6.0, ..Default::default() },
+    };
+    let outer = EmbedBuilder {
+        f: AdaptiveBuilder::default(),
+        r: inner,
+        cfg: EmbedConfig { epsilon: 1.0 / 3.0, ..Default::default() },
+    };
+    let n = 200;
+    let mut e = outer.build_default(n);
+    let ops = mixed_ops(n, 1500, 31, 0.6);
+    run_against_oracle(&mut e, &ops, 47);
+    e.check_invariants();
+}
+
+#[test]
+fn corollary11_oracle() {
+    let n = 200;
+    let mut e = corollary11(n, 7);
+    let ops = mixed_ops(n, 1200, 37, 0.6);
+    run_against_oracle(&mut e, &ops, 67);
+    e.check_invariants();
+}
+
+#[test]
+fn corollary11_hammer() {
+    let n = 256;
+    let mut e = corollary11(n, 9);
+    let ops: Vec<Op> = (0..n).map(|_| Op::Insert(0)).collect();
+    run_against_oracle(&mut e, &ops, 33);
+}
+
+#[test]
+fn corollary12_oracle() {
+    let n = 200;
+    // Descending arrival with perfect predictions.
+    let preds: Vec<usize> = (0..n).rev().collect();
+    let mut e = corollary12(n, 1, preds, 11);
+    let ops: Vec<Op> = (0..n).map(|_| Op::Insert(0)).collect();
+    run_against_oracle(&mut e, &ops, 41);
+    e.check_invariants();
+}
+
+#[test]
+fn labels_monotone_in_rank() {
+    let n = 300;
+    let mut e = simple_builder().build_default(n);
+    let ops = mixed_ops(n, 1000, 41, 0.7);
+    for &op in &ops {
+        e.apply(op);
+    }
+    let labels: Vec<usize> = (0..e.len()).map(|r| e.label_of_rank(r)).collect();
+    assert!(labels.windows(2).all(|w| w[0] < w[1]));
+}
+
+#[test]
+fn delete_to_empty_and_refill() {
+    let n = 128;
+    let mut e = simple_builder().build_default(n);
+    for i in 0..n {
+        e.insert(i / 2);
+    }
+    assert_eq!(e.len(), n);
+    for _ in 0..n {
+        e.delete(0);
+    }
+    assert_eq!(e.len(), 0);
+    for i in 0..n / 2 {
+        e.insert(i);
+    }
+    assert_eq!(e.len(), n / 2);
+    e.check_invariants();
+}
+
+#[test]
+fn lemma4_shell_input_independent_of_shell_randomness() {
+    // Lemma 4: the operation sequence y fed to the R-shell is fully
+    // determined by the input x and rand(F) — independent of rand(R).
+    // Build two embeddings with the SAME (deterministic) F but DIFFERENT
+    // random tapes for a randomized R, drive them with the same input, and
+    // compare the recorded shell-op sequences.
+    use lll_randomized::RandomizedBuilder;
+    let n = 400;
+    let ops = mixed_ops(n, 2000, 71, 0.6);
+    let run = |r_seed: u64| {
+        let b = EmbedBuilder {
+            f: AdaptiveBuilder::default(),
+            r: RandomizedBuilder::with_seed(r_seed),
+            cfg: EmbedConfig::default(),
+        };
+        let mut e = b.build_default(n);
+        e.enable_shell_trace();
+        for &op in &ops {
+            e.apply(op);
+        }
+        e.shell_trace().to_vec()
+    };
+    let t1 = run(0xAAAA);
+    let t2 = run(0x5555);
+    assert!(!t1.is_empty(), "expected some slow-path shell ops");
+    assert_eq!(t1, t2, "Lemma 4 violated: R's randomness leaked into its own input");
+}
+
+#[test]
+fn lemma4_shell_input_depends_on_f_randomness() {
+    // The complementary direction: changing rand(F) IS allowed to change
+    // the shell's input (the dependence is one-directional).
+    use lll_randomized::RandomizedBuilder;
+    let n = 400;
+    let ops = mixed_ops(n, 2000, 73, 0.6);
+    let run = |f_seed: u64| {
+        let b = EmbedBuilder {
+            f: RandomizedBuilder::with_seed(f_seed),
+            r: ClassicBuilder,
+            cfg: EmbedConfig::default(),
+        };
+        let mut e = b.build_default(n);
+        e.enable_shell_trace();
+        for &op in &ops {
+            e.apply(op);
+        }
+        e.shell_trace().to_vec()
+    };
+    let t1 = run(1);
+    let t2 = run(2);
+    // Not asserting inequality as a hard guarantee (they could coincide),
+    // but the sequences must at least be well-formed and deterministic.
+    assert_eq!(t1, run(1), "same rand(F) must reproduce the same shell input");
+    assert_eq!(t2, run(2));
+}

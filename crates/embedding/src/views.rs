@@ -1,0 +1,59 @@
+//! ASCII rendering of the embedding's three views (Figure 1 of the paper).
+//!
+//! * the **embedding view** shows every slot with its tag and occupancy;
+//! * the **F-emulator view** shows only the F-slots (the array `A_F`);
+//! * the **R-shell view** shows every slot, with all non-white slots drawn
+//!   as occupied (that is exactly what R sees).
+//!
+//! Used by the `figure_views` example and by documentation tests; the
+//! renderings are deliberately compact (one character per slot).
+
+use crate::embed::Embed;
+use crate::tag_array::SlotTag;
+use lll_core::traits::ListLabeling;
+
+/// One-character-per-slot rendering of the full embedding view:
+/// `F` = occupied F-slot, `f` = free F-slot, `B` = occupied buffer slot,
+/// `b` = buffer dummy, `.` = R-empty.
+pub fn embedding_view<F: ListLabeling, R: ListLabeling>(e: &Embed<F, R>) -> String {
+    let tags = e.tag_array();
+    (0..tags.num_slots())
+        .map(|p| match (tags.tag(p), tags.contents.is_occupied(p)) {
+            (SlotTag::F, true) => 'F',
+            (SlotTag::F, false) => 'f',
+            (SlotTag::Buf, true) => 'B',
+            (SlotTag::Buf, false) => 'b',
+            (SlotTag::White, _) => '.',
+        })
+        .collect()
+}
+
+/// The F-emulator's view: only F-slots, in F-coordinate order
+/// (`X` = occupied, `_` = free).
+pub fn emulator_view<F: ListLabeling, R: ListLabeling>(e: &Embed<F, R>) -> String {
+    let tags = e.tag_array();
+    (0..tags.num_slots())
+        .filter(|&p| tags.tag(p) == SlotTag::F)
+        .map(|p| if tags.contents.is_occupied(p) { 'X' } else { '_' })
+        .collect()
+}
+
+/// The R-shell's view: every slot, with all non-white slots shown occupied
+/// (`#`) and white slots free (`.`) — R cannot tell F-slots, dummies and
+/// real buffered elements apart.
+pub fn shell_view<F: ListLabeling, R: ListLabeling>(e: &Embed<F, R>) -> String {
+    let tags = e.tag_array();
+    (0..tags.num_slots())
+        .map(|p| if tags.tag(p) == SlotTag::White { '.' } else { '#' })
+        .collect()
+}
+
+/// All three views stacked, labeled like Figure 1.
+pub fn figure1<F: ListLabeling, R: ListLabeling>(e: &Embed<F, R>) -> String {
+    format!(
+        "view of F ⊳ R    : {}\nview of F-emulator: {}\nview of R-shell   : {}\n",
+        embedding_view(e),
+        emulator_view(e),
+        shell_view(e)
+    )
+}

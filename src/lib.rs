@@ -1,0 +1,55 @@
+//! # layered-list-labeling
+//!
+//! A Rust reproduction of *Layered List Labeling* (Bender, Conway,
+//! Farach-Colton, Komlós, Kuszmaul; PODS 2024): composable list-labeling /
+//! packed-memory-array algorithms where the embedding `F ⊳ R` cherry-picks
+//! the best worst-case, adaptive and expected cost bounds of its layers.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`core`] — traits, slot arrays, cost accounting ([`lll_core`]).
+//! * [`classic`] — the classical Itai–Konheim–Rodeh PMA, amortized
+//!   O(log² n).
+//! * [`deamortized`] — a worst-case O(log² n)-style PMA (the `Z` of
+//!   Corollary 11).
+//! * [`randomized`] — a history-independent randomized PMA (the `Y`).
+//! * [`adaptive`] — the Bender–Hu adaptive PMA, O(log n) on hammer-insert
+//!   workloads (the `X`).
+//! * [`predictions`] — a learning-augmented PMA with rank predictions
+//!   (the `X` of Corollary 12).
+//! * [`embedding`] — the paper's contribution: [`embedding::Embed`] (`F ⊳ R`,
+//!   Theorem 2) and [`embedding::corollary11`] / [`embedding::corollary12`]
+//!   (Theorem 3 instantiations).
+//! * [`workloads`] — deterministic workload generators for every experiment.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use layered_list_labeling::prelude::*;
+//! use layered_list_labeling::embedding::corollary11;
+//!
+//! let n = 1024;
+//! let mut layered = corollary11(n, 42);
+//! // Hammer-insert workload: repeatedly insert at the same rank.
+//! for _ in 0..n / 2 {
+//!     layered.insert(0);
+//! }
+//! assert_eq!(layered.len(), n / 2);
+//! // Elements stay sorted in one physical array:
+//! let labels: Vec<usize> = (0..layered.len()).map(|r| layered.label_of_rank(r)).collect();
+//! assert!(labels.windows(2).all(|w| w[0] < w[1]));
+//! ```
+
+pub use lll_adaptive as adaptive;
+pub use lll_classic as classic;
+pub use lll_core as core;
+pub use lll_deamortized as deamortized;
+pub use lll_embedding as embedding;
+pub use lll_predictions as predictions;
+pub use lll_randomized as randomized;
+pub use lll_workloads as workloads;
+
+pub mod prelude {
+    //! One-stop imports for applications.
+    pub use lll_core::prelude::*;
+}

@@ -1,0 +1,102 @@
+//! Property-based tests (proptest): arbitrary valid operation sequences
+//! must keep every structure oracle-consistent; structural invariants must
+//! hold for arbitrary inputs, not just the curated workloads.
+
+use layered_list_labeling::adaptive::AdaptiveBuilder;
+use layered_list_labeling::classic::ClassicBuilder;
+use layered_list_labeling::core::ops::Op;
+use layered_list_labeling::core::testkit::run_against_oracle;
+use layered_list_labeling::core::traits::{LabelingBuilder, ListLabeling};
+use layered_list_labeling::deamortized::DeamortizedBuilder;
+use layered_list_labeling::embedding::EmbedBuilder;
+use layered_list_labeling::randomized::RandomizedBuilder;
+use proptest::prelude::*;
+
+/// Strategy: a valid op sequence of `len` ops with peak size ≤ cap.
+/// Encoded as (is_insert_bias, rank_seed) pairs decoded against the running
+/// length so every sequence is valid by construction.
+fn op_seq(len: usize, cap: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((any::<u8>(), any::<u32>()), len).prop_map(move |raw| {
+        let mut ops = Vec::with_capacity(raw.len());
+        let mut cur = 0usize;
+        for (b, r) in raw {
+            let insert = cur == 0 || (cur < cap && b % 5 < 3);
+            if insert {
+                ops.push(Op::Insert(r as usize % (cur + 1)));
+                cur += 1;
+            } else {
+                ops.push(Op::Delete(r as usize % cur));
+                cur -= 1;
+            }
+        }
+        ops
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn classic_matches_oracle(ops in op_seq(400, 120)) {
+        let mut s = ClassicBuilder.build_default(120);
+        run_against_oracle(&mut s, &ops, 61);
+    }
+
+    #[test]
+    fn adaptive_matches_oracle(ops in op_seq(400, 120)) {
+        let mut s = AdaptiveBuilder::default().build_default(120);
+        run_against_oracle(&mut s, &ops, 61);
+    }
+
+    #[test]
+    fn randomized_matches_oracle(ops in op_seq(400, 120), seed in any::<u64>()) {
+        let mut s = RandomizedBuilder::with_seed(seed).build_default(120);
+        run_against_oracle(&mut s, &ops, 61);
+    }
+
+    #[test]
+    fn deamortized_matches_oracle(ops in op_seq(500, 120)) {
+        let mut s = DeamortizedBuilder::default().build_default(120);
+        run_against_oracle(&mut s, &ops, 61);
+    }
+
+    #[test]
+    fn embedding_matches_oracle_and_keeps_invariants(ops in op_seq(350, 90)) {
+        let b = EmbedBuilder::new(AdaptiveBuilder::default(), ClassicBuilder);
+        let mut s = b.build_default(90);
+        run_against_oracle(&mut s, &ops, 47);
+        s.check_invariants();
+        prop_assert!(s.stats().max_deadweight <= 4);
+    }
+
+    #[test]
+    fn labels_always_strictly_increase(ops in op_seq(300, 100)) {
+        let b = EmbedBuilder::new(AdaptiveBuilder::default(), ClassicBuilder);
+        let mut s = b.build_default(100);
+        for op in ops {
+            s.apply(op);
+            // spot-check monotonicity after every op on a stride
+            if s.len() >= 2 {
+                let a = s.label_of_rank(0);
+                let b2 = s.label_of_rank(s.len() / 2);
+                let c = s.label_of_rank(s.len() - 1);
+                prop_assert!(a < c);
+                if s.len() > 2 {
+                    prop_assert!(a <= b2 && b2 <= c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn report_costs_equal_move_log(ops in op_seq(250, 80)) {
+        // The cost contract: OpReport::cost() == number of logged moves,
+        // and the slot array's lifetime total equals the sum of reports.
+        let mut s = ClassicBuilder.build_default(80);
+        let mut total = 0u64;
+        for op in ops {
+            total += s.apply(op).cost();
+        }
+        prop_assert_eq!(total, s.slots().lifetime_moves());
+    }
+}
