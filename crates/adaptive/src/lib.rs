@@ -97,9 +97,8 @@ impl AdaptivePolicy {
         let gaps_total = total_width - k;
 
         // Gap shares ∝ 1 + hotness_weight · predictor count.
-        let weights: Vec<f64> = (s0..=s1)
-            .map(|s| 1.0 + self.cfg.hotness_weight * self.counts[s])
-            .collect();
+        let weights: Vec<f64> =
+            (s0..=s1).map(|s| 1.0 + self.cfg.hotness_weight * self.counts[s]).collect();
         let wsum: f64 = weights.iter().sum();
 
         // Provisional per-segment gap allocation (largest-remainder method),
@@ -111,8 +110,8 @@ impl AdaptivePolicy {
         for (i, w) in weights.iter().enumerate() {
             let ideal = gaps_total as f64 * w / wsum;
             let fl = ideal.floor() as usize;
-            let max_gap = widths[i]
-                .saturating_sub(((widths[i] as f64) * self.cfg.min_fill).ceil() as usize);
+            let max_gap =
+                widths[i].saturating_sub(((widths[i] as f64) * self.cfg.min_fill).ceil() as usize);
             let g = fl.min(max_gap);
             gaps.push(g);
             assigned += g;

@@ -1,0 +1,455 @@
+//! Backend selection and construction: [`Backend`], [`ListBuilder`],
+//! [`RawList`] and the type-erased [`ErasedList`].
+//!
+//! Every algorithm in the workspace is a fixed-capacity
+//! [`ListLabeling`]; production callers want dynamic capacity and a
+//! runtime-selectable algorithm. [`ListBuilder`] provides both: it wraps
+//! the chosen algorithm in [`Growable`] (global doubling/halving with
+//! stable handles) and erases the concrete type behind [`RawList`], so
+//! [`OrderedList`](crate::OrderedList) and [`LabelMap`](crate::LabelMap)
+//! never name an algorithm in their types. Callers who want static
+//! dispatch instead pass any [`LabelingBuilder`] to
+//! [`ListBuilder::build_growable`] (or construct [`Growable`] directly) —
+//! both container types are generic over [`RawList`] and accept either
+//! form.
+
+use lll_adaptive::AdaptiveBuilder;
+use lll_classic::ClassicBuilder;
+use lll_core::growable::{Growable, GrowableStats, Handle};
+use lll_core::ids::ElemId;
+use lll_core::report::OpReport;
+use lll_core::rng::derive_seed;
+use lll_core::traits::{LabelingBuilder, ListLabeling};
+use lll_deamortized::DeamortizedBuilder;
+use lll_embedding::layered::{corollary11_builder, inner_yz_builder, layered_configs};
+use lll_embedding::EmbedBuilder;
+use lll_predictions::{PredictedBuilder, ScaledRankPredictor};
+use lll_randomized::RandomizedBuilder;
+
+/// The rank-addressed operations the API layer needs from a dynamically
+/// sized list-labeling backend. Implemented by [`Growable`] over every
+/// algorithm in the workspace; object-safe, so backends can be erased
+/// ([`ErasedList`]) or kept concrete for static dispatch.
+pub trait RawList {
+    /// Current element count.
+    fn len(&self) -> usize;
+
+    /// True if no elements are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current capacity (changes across rebuilds).
+    fn capacity(&self) -> usize;
+
+    /// The rebuild epoch: labels from before the last epoch change are
+    /// stale (see [`Growable::epoch`]).
+    fn epoch(&self) -> u64;
+
+    /// Insert at `rank`, returning the new element's stable handle and the
+    /// operation's move log (exclusive of any growth rebuild, which is
+    /// signalled by the epoch instead).
+    fn insert_reported(&mut self, rank: usize) -> (Handle, OpReport);
+
+    /// Delete at `rank`, returning the removed element's handle and the
+    /// operation's move log (same epoch caveat for shrink rebuilds).
+    fn delete_reported(&mut self, rank: usize) -> (Handle, OpReport);
+
+    /// The handle of the element of `rank`.
+    fn handle_at_rank(&self, rank: usize) -> Handle;
+
+    /// The label (slot position) of the element of `rank`.
+    fn label_of_rank(&self, rank: usize) -> usize;
+
+    /// The rank of the element whose label is `label`.
+    fn rank_at_label(&self, label: usize) -> usize;
+
+    /// Translate a move-log element identity into its stable handle
+    /// (`None` if the identity is not live in the current epoch).
+    fn handle_of_elem(&self, elem: ElemId) -> Option<Handle>;
+
+    /// `(handle, label)` for every element in rank order — the label-table
+    /// resynchronization path after a rebuild.
+    fn labels_snapshot(&self) -> Vec<(Handle, usize)>;
+
+    /// The underlying algorithm's name.
+    fn backend_name(&self) -> &'static str;
+
+    /// Total element moves performed (operations + rebuilds).
+    fn total_moves(&self) -> u64;
+
+    /// Grow/shrink statistics.
+    fn grow_stats(&self) -> GrowableStats;
+}
+
+impl<B: LabelingBuilder> RawList for Growable<B> {
+    fn len(&self) -> usize {
+        Growable::len(self)
+    }
+
+    fn capacity(&self) -> usize {
+        Growable::capacity(self)
+    }
+
+    fn epoch(&self) -> u64 {
+        Growable::epoch(self)
+    }
+
+    fn insert_reported(&mut self, rank: usize) -> (Handle, OpReport) {
+        Growable::insert_reported(self, rank)
+    }
+
+    fn delete_reported(&mut self, rank: usize) -> (Handle, OpReport) {
+        Growable::delete_reported(self, rank)
+    }
+
+    fn handle_at_rank(&self, rank: usize) -> Handle {
+        Growable::handle_at_rank(self, rank)
+    }
+
+    fn label_of_rank(&self, rank: usize) -> usize {
+        Growable::label_of_rank(self, rank)
+    }
+
+    fn rank_at_label(&self, label: usize) -> usize {
+        Growable::rank_at_label(self, label)
+    }
+
+    fn handle_of_elem(&self, elem: ElemId) -> Option<Handle> {
+        Growable::handle_of_elem(self, elem)
+    }
+
+    fn labels_snapshot(&self) -> Vec<(Handle, usize)> {
+        Growable::labels_snapshot(self)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        Growable::backend_name(self)
+    }
+
+    fn total_moves(&self) -> u64 {
+        Growable::total_moves(self)
+    }
+
+    fn grow_stats(&self) -> GrowableStats {
+        Growable::stats(self)
+    }
+}
+
+/// The algorithms a [`ListBuilder`] can instantiate at runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Classical Itai–Konheim–Rodeh PMA: amortized O(log² n).
+    Classic,
+    /// Worst-case-bounded PMA (the `Z` layer).
+    Deamortized,
+    /// History-independent randomized PMA (the `Y` layer): great expected
+    /// cost, heavy tails.
+    Randomized,
+    /// Bender–Hu adaptive PMA (the `X` layer): O(log n) on hammer inserts.
+    Adaptive,
+    /// The paper's Corollary 11: adaptive ⊳ (randomized ⊳ deamortized) —
+    /// combines all three layers' strengths. The recommended default.
+    Corollary11,
+    /// The paper's Corollary 12: learning-augmented ⊳ (randomized ⊳
+    /// deamortized), here with the no-information scaled-rank predictor
+    /// (callers with real predictions use
+    /// [`lll_embedding::corollary12_builder`] via static dispatch).
+    Corollary12,
+}
+
+impl Backend {
+    /// Every selectable backend, for exhaustive sweeps in tests and
+    /// experiments.
+    pub const ALL: [Backend; 6] = [
+        Backend::Classic,
+        Backend::Deamortized,
+        Backend::Randomized,
+        Backend::Adaptive,
+        Backend::Corollary11,
+        Backend::Corollary12,
+    ];
+
+    /// A short stable name (for tables, logs, and plots).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Classic => "classic",
+            Backend::Deamortized => "deamortized",
+            Backend::Randomized => "randomized",
+            Backend::Adaptive => "adaptive",
+            Backend::Corollary11 => "corollary11",
+            Backend::Corollary12 => "corollary12",
+        }
+    }
+}
+
+/// Configuration entry point for every container in this crate.
+///
+/// ```
+/// use lll_api::{Backend, ListBuilder, RawList};
+///
+/// let mut list = ListBuilder::new().backend(Backend::Corollary11).seed(42).build();
+/// let first = list.insert(0);
+/// let second = list.insert(1);
+/// assert_eq!(list.len(), 2);
+/// assert!(list.label_of_rank(0) < list.label_of_rank(1));
+/// let _ = (first, second);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ListBuilder {
+    backend: Backend,
+    seed: u64,
+    initial_capacity: usize,
+    eta: usize,
+}
+
+impl Default for ListBuilder {
+    fn default() -> Self {
+        Self { backend: Backend::Corollary11, seed: 0x11, initial_capacity: 64, eta: 64 }
+    }
+}
+
+impl ListBuilder {
+    /// A builder with the recommended defaults: the Corollary 11 layered
+    /// structure, a fixed seed, and a small initial capacity (the structure
+    /// grows on demand — `n` is never chosen up front).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Select the algorithm.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Seed every random tape (runs are deterministic per seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Capacity floor before the first growth rebuild. Purely a
+    /// preallocation hint: the structure grows and shrinks regardless.
+    pub fn initial_capacity(mut self, capacity: usize) -> Self {
+        self.initial_capacity = capacity.max(1);
+        self
+    }
+
+    /// For [`Backend::Corollary12`]: the prediction-error budget η the
+    /// structure is tuned for. Ignored by the other backends.
+    pub fn eta(mut self, eta: usize) -> Self {
+        self.eta = eta.max(1);
+        self
+    }
+
+    fn corollary12_scaled(
+        &self,
+    ) -> EmbedBuilder<
+        PredictedBuilder<ScaledRankPredictor>,
+        EmbedBuilder<RandomizedBuilder, DeamortizedBuilder>,
+    > {
+        let (outer_cfg, _) = layered_configs();
+        EmbedBuilder {
+            f: PredictedBuilder { eta: self.eta, predictor: ScaledRankPredictor },
+            r: inner_yz_builder(derive_seed(self.seed, 0xC12)),
+            cfg: outer_cfg,
+        }
+    }
+
+    /// Build the configured backend as a dynamically sized, type-erased
+    /// list. This is what [`OrderedList`](crate::OrderedList) and
+    /// [`LabelMap`](crate::LabelMap) sit on.
+    pub fn build(&self) -> ErasedList {
+        let cap = self.initial_capacity;
+        let inner: Box<dyn RawList> = match self.backend {
+            Backend::Classic => Box::new(Growable::new(ClassicBuilder, cap)),
+            Backend::Deamortized => Box::new(Growable::new(DeamortizedBuilder::default(), cap)),
+            Backend::Randomized => Box::new(Growable::new(
+                RandomizedBuilder::with_seed(derive_seed(self.seed, 0x59)),
+                cap,
+            )),
+            Backend::Adaptive => Box::new(Growable::new(AdaptiveBuilder::default(), cap)),
+            Backend::Corollary11 => Box::new(Growable::new(corollary11_builder(self.seed), cap)),
+            Backend::Corollary12 => Box::new(Growable::new(self.corollary12_scaled(), cap)),
+        };
+        ErasedList { inner }
+    }
+
+    /// Build the configured backend as a **fixed-capacity** structure
+    /// behind the paper-shaped [`ListLabeling`] trait — for callers that
+    /// know `n` and want the theory-level interface (move logs, slot
+    /// arrays, cost accounting) without naming a concrete type.
+    pub fn build_fixed(&self, capacity: usize) -> Box<dyn ListLabeling> {
+        match self.backend {
+            Backend::Classic => Box::new(ClassicBuilder.build_default(capacity)),
+            Backend::Deamortized => Box::new(DeamortizedBuilder::default().build_default(capacity)),
+            Backend::Randomized => Box::new(
+                RandomizedBuilder::with_seed(derive_seed(self.seed, 0x59)).build_default(capacity),
+            ),
+            Backend::Adaptive => Box::new(AdaptiveBuilder::default().build_default(capacity)),
+            Backend::Corollary11 => {
+                Box::new(corollary11_builder(self.seed).build_default(capacity))
+            }
+            Backend::Corollary12 => Box::new(self.corollary12_scaled().build_default(capacity)),
+        }
+    }
+
+    /// Statically dispatched escape hatch: wrap **any** algorithm builder
+    /// (including compositions the [`Backend`] enum doesn't enumerate) in
+    /// the same dynamic-capacity machinery, with no type erasure. The
+    /// result plugs into [`OrderedList::with_backend`]
+    /// [`LabelMap::with_backend`] via their [`RawList`] parameter.
+    ///
+    /// [`OrderedList::with_backend`]: crate::OrderedList::with_backend
+    /// [`LabelMap::with_backend`]: crate::LabelMap::with_backend
+    pub fn build_growable<B: LabelingBuilder>(&self, builder: B) -> Growable<B> {
+        Growable::new(builder, self.initial_capacity)
+    }
+
+    /// An [`OrderedList`](crate::OrderedList) on the configured backend.
+    pub fn ordered_list<V>(&self) -> crate::OrderedList<V> {
+        crate::OrderedList::with_backend(self.build())
+    }
+
+    /// A [`LabelMap`](crate::LabelMap) on the configured backend.
+    pub fn label_map<K: Ord, V>(&self) -> crate::LabelMap<K, V> {
+        crate::LabelMap::with_backend(self.build())
+    }
+}
+
+/// A dynamically sized list-labeling backend with the algorithm erased —
+/// the default backend type of [`OrderedList`](crate::OrderedList) and
+/// [`LabelMap`](crate::LabelMap). Build one with [`ListBuilder::build`].
+pub struct ErasedList {
+    inner: Box<dyn RawList>,
+}
+
+impl ErasedList {
+    /// Insert at `rank`, returning the new element's stable handle.
+    pub fn insert(&mut self, rank: usize) -> Handle {
+        self.inner.insert_reported(rank).0
+    }
+
+    /// Delete at `rank`, returning the removed element's handle.
+    pub fn delete(&mut self, rank: usize) -> Handle {
+        self.inner.delete_reported(rank).0
+    }
+}
+
+impl RawList for ErasedList {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.inner.epoch()
+    }
+
+    fn insert_reported(&mut self, rank: usize) -> (Handle, OpReport) {
+        self.inner.insert_reported(rank)
+    }
+
+    fn delete_reported(&mut self, rank: usize) -> (Handle, OpReport) {
+        self.inner.delete_reported(rank)
+    }
+
+    fn handle_at_rank(&self, rank: usize) -> Handle {
+        self.inner.handle_at_rank(rank)
+    }
+
+    fn label_of_rank(&self, rank: usize) -> usize {
+        self.inner.label_of_rank(rank)
+    }
+
+    fn rank_at_label(&self, label: usize) -> usize {
+        self.inner.rank_at_label(label)
+    }
+
+    fn handle_of_elem(&self, elem: ElemId) -> Option<Handle> {
+        self.inner.handle_of_elem(elem)
+    }
+
+    fn labels_snapshot(&self) -> Vec<(Handle, usize)> {
+        self.inner.labels_snapshot()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        self.inner.backend_name()
+    }
+
+    fn total_moves(&self) -> u64 {
+        self.inner.total_moves()
+    }
+
+    fn grow_stats(&self) -> GrowableStats {
+        self.inner.grow_stats()
+    }
+}
+
+// `ListLabeling` must stay object-safe: `build_fixed` and downstream users
+// hand out `Box<dyn ListLabeling>`.
+const _: fn(&dyn ListLabeling) = |_| {};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_backend_builds_and_grows() {
+        for backend in Backend::ALL {
+            let mut list = ListBuilder::new().backend(backend).seed(7).build();
+            for i in 0..300 {
+                list.insert(i / 2);
+            }
+            assert_eq!(list.len(), 300, "{}", backend.name());
+            assert!(list.grow_stats().grows >= 1, "{} never grew", backend.name());
+            for _ in 0..250 {
+                list.delete(0);
+            }
+            assert_eq!(list.len(), 50, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn build_fixed_is_paper_shaped() {
+        for backend in Backend::ALL {
+            let mut s = ListBuilder::new().backend(backend).build_fixed(128);
+            for _ in 0..64 {
+                s.insert(0);
+            }
+            assert_eq!(s.len(), 64);
+            let labels: Vec<usize> = (0..s.len()).map(|r| s.label_of_rank(r)).collect();
+            assert!(labels.windows(2).all(|w| w[0] < w[1]), "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn static_dispatch_matches_erased() {
+        let b = ListBuilder::new().seed(3);
+        let mut stat = b.build_growable(ClassicBuilder);
+        let mut dynn = b.backend(Backend::Classic).build();
+        for i in 0..200 {
+            stat.insert(i % (i / 2 + 1));
+            dynn.insert(i % (i / 2 + 1));
+        }
+        assert_eq!(stat.len(), RawList::len(&dynn));
+        for r in (0..200).step_by(17) {
+            assert_eq!(Growable::label_of_rank(&stat, r), dynn.label_of_rank(r));
+        }
+    }
+
+    #[test]
+    fn epoch_signals_rebuilds() {
+        let mut list = ListBuilder::new().backend(Backend::Classic).initial_capacity(16).build();
+        let e0 = list.epoch();
+        for i in 0..64 {
+            list.insert(i);
+        }
+        assert!(list.epoch() > e0, "growth must bump the epoch");
+    }
+}

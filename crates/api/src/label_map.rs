@@ -1,0 +1,346 @@
+//! [`LabelMap`]: a keyed sorted map over a list-labeling backend — the
+//! database-index application the paper opens with (list labeling was
+//! proposed for database indexing at PODS '99; packed-memory arrays power
+//! cache-friendly indexes because a range scan is a contiguous sweep of
+//! one physical array).
+//!
+//! Keys are kept physically sorted in the backend's slot array. Point
+//! operations binary-search ranks over the labels (O(log n) comparisons,
+//! each an O(log m) rank→element lookup); range scans walk consecutive
+//! ranks, which the backend lays out left-to-right in memory.
+
+use crate::backend::{ErasedList, ListBuilder, RawList};
+use lll_core::growable::Handle;
+use std::collections::HashMap;
+use std::ops::{Bound, RangeBounds};
+
+/// A dynamically sized sorted map with `BTreeMap`-shaped point operations
+/// and PMA-backed range scans.
+///
+/// ```
+/// use lll_api::LabelMap;
+///
+/// let mut map = LabelMap::new();
+/// map.insert(3, "c");
+/// map.insert(1, "a");
+/// map.insert(2, "b");
+/// assert_eq!(map.get(&2), Some(&"b"));
+/// let scanned: Vec<i32> = map.range(2..).map(|(k, _)| *k).collect();
+/// assert_eq!(scanned, [2, 3]);
+/// assert_eq!(map.remove(&1), Some("a"));
+/// assert_eq!(map.len(), 2);
+/// ```
+pub struct LabelMap<K: Ord, V, L: RawList = ErasedList> {
+    list: L,
+    entry: HashMap<Handle, (K, V)>,
+}
+
+impl<K: Ord, V> LabelMap<K, V> {
+    /// An empty map on the default backend (Corollary 11, erased).
+    pub fn new() -> Self {
+        ListBuilder::new().label_map()
+    }
+}
+
+impl<K: Ord, V> Default for LabelMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord, V, L: RawList> LabelMap<K, V, L> {
+    /// Wrap an already-built backend — erased ([`ListBuilder::build`]) or
+    /// concrete ([`ListBuilder::build_growable`]) for static dispatch.
+    ///
+    /// Panics if the backend is non-empty.
+    pub fn with_backend(list: L) -> Self {
+        assert!(list.is_empty(), "LabelMap requires an empty backend");
+        Self { list, entry: HashMap::new() }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// True if the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// The underlying algorithm's name.
+    pub fn backend_name(&self) -> &'static str {
+        self.list.backend_name()
+    }
+
+    /// Total element moves the backend has performed (the paper's cost
+    /// model, surfaced for accounting).
+    pub fn total_moves(&self) -> u64 {
+        self.list.total_moves()
+    }
+
+    /// Growth/shrink rebuild statistics of the backend.
+    pub fn grow_stats(&self) -> lll_core::growable::GrowableStats {
+        self.list.grow_stats()
+    }
+
+    fn pair_at_rank(&self, rank: usize) -> &(K, V) {
+        &self.entry[&self.list.handle_at_rank(rank)]
+    }
+
+    /// The key of rank `rank` (0-based, sorted order).
+    ///
+    /// Panics if `rank >= len`.
+    pub fn key_at_rank(&self, rank: usize) -> &K {
+        &self.pair_at_rank(rank).0
+    }
+
+    /// The rank of the first key ≥ `key` (== `len` if no such key).
+    pub fn lower_bound(&self, key: &K) -> usize {
+        let (mut lo, mut hi) = (0usize, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.key_at_rank(mid) < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// The rank of the first key > `key` (== `len` if no such key).
+    pub fn upper_bound(&self, key: &K) -> usize {
+        let (mut lo, mut hi) = (0usize, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.key_at_rank(mid) <= key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// The rank of `key` if present. Like `BTreeMap`, equality is judged
+    /// by `Ord::cmp` alone (never `PartialEq`), so keys whose `Eq`
+    /// disagrees with their ordering still behave consistently.
+    fn rank_of_key(&self, key: &K) -> Option<usize> {
+        let r = self.lower_bound(key);
+        (r < self.len() && self.key_at_rank(r).cmp(key).is_eq()).then_some(r)
+    }
+
+    /// Insert `key → value`. Returns the previous value if the key was
+    /// present (like `BTreeMap`, the entry keeps its position, handle, and
+    /// originally stored key).
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let rank = self.lower_bound(&key);
+        if rank < self.len() && self.key_at_rank(rank).cmp(&key).is_eq() {
+            let h = self.list.handle_at_rank(rank);
+            let entry = self.entry.get_mut(&h).expect("entry for live handle");
+            return Some(std::mem::replace(&mut entry.1, value));
+        }
+        let (h, _) = self.list.insert_reported(rank);
+        self.entry.insert(h, (key, value));
+        None
+    }
+
+    /// The value of `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.rank_of_key(key).map(|r| &self.pair_at_rank(r).1)
+    }
+
+    /// Mutable access to the value of `key`.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let r = self.rank_of_key(key)?;
+        let h = self.list.handle_at_rank(r);
+        self.entry.get_mut(&h).map(|(_, v)| v)
+    }
+
+    /// True if `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.rank_of_key(key).is_some()
+    }
+
+    /// Remove `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let rank = self.rank_of_key(key)?;
+        let (h, _) = self.list.delete_reported(rank);
+        self.entry.remove(&h).map(|(_, v)| v)
+    }
+
+    /// The smallest entry.
+    pub fn first_key_value(&self) -> Option<(&K, &V)> {
+        (!self.is_empty()).then(|| {
+            let (k, v) = self.pair_at_rank(0);
+            (k, v)
+        })
+    }
+
+    /// The largest entry.
+    pub fn last_key_value(&self) -> Option<(&K, &V)> {
+        (!self.is_empty()).then(|| {
+            let (k, v) = self.pair_at_rank(self.len() - 1);
+            (k, v)
+        })
+    }
+
+    /// Iterate the entries with keys in `range`, in ascending key order —
+    /// physically, a left-to-right sweep of the backend's slot array.
+    ///
+    /// Unlike `BTreeMap::range`, an inverted range (start > end) yields an
+    /// empty iterator instead of panicking.
+    pub fn range<R: RangeBounds<K>>(&self, range: R) -> Range<'_, K, V, L> {
+        let start = match range.start_bound() {
+            Bound::Included(k) => self.lower_bound(k),
+            Bound::Excluded(k) => self.upper_bound(k),
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(k) => self.upper_bound(k),
+            Bound::Excluded(k) => self.lower_bound(k),
+            Bound::Unbounded => self.len(),
+        };
+        Range { map: self, next: start, end: end.max(start) }
+    }
+
+    /// Iterate all entries in ascending key order.
+    pub fn iter(&self) -> Range<'_, K, V, L> {
+        self.range(..)
+    }
+
+    /// Iterate keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterate values in ascending key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> + '_ {
+        self.iter().map(|(_, v)| v)
+    }
+}
+
+impl<K: Ord, V, L: RawList> Extend<(K, V)> for LabelMap<K, V, L> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for LabelMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut map = Self::new();
+        map.extend(iter);
+        map
+    }
+}
+
+/// Iterator over a key range of a [`LabelMap`], in ascending key order.
+pub struct Range<'a, K: Ord, V, L: RawList> {
+    map: &'a LabelMap<K, V, L>,
+    next: usize,
+    end: usize,
+}
+
+impl<'a, K: Ord, V, L: RawList> Iterator for Range<'a, K, V, L> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.end {
+            return None;
+        }
+        let (k, v) = self.map.pair_at_rank(self.next);
+        self.next += 1;
+        Some((k, v))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.end - self.next;
+        (n, Some(n))
+    }
+}
+
+impl<K: Ord, V, L: RawList> ExactSizeIterator for Range<'_, K, V, L> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Backend;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn point_ops_match_btreemap() {
+        let mut map: LabelMap<u64, u64> = LabelMap::new();
+        let mut model = BTreeMap::new();
+        // deterministic mixed workload with duplicate keys
+        let mut x = 9u64;
+        for i in 0..800u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = x % 200;
+            match x % 3 {
+                0 | 1 => {
+                    assert_eq!(map.insert(k, i), model.insert(k, i), "insert({k}) diverged");
+                }
+                _ => {
+                    assert_eq!(map.remove(&k), model.remove(&k), "remove({k}) diverged");
+                }
+            }
+            assert_eq!(map.len(), model.len());
+        }
+        for k in 0..200 {
+            assert_eq!(map.get(&k), model.get(&k), "get({k}) diverged");
+        }
+        assert_eq!(map.first_key_value(), model.first_key_value());
+        assert_eq!(map.last_key_value(), model.last_key_value());
+    }
+
+    #[test]
+    fn range_scans_match_btreemap() {
+        let mut map: LabelMap<u32, String> = LabelMap::new();
+        let mut model = BTreeMap::new();
+        for k in (0..300).step_by(3) {
+            map.insert(k, format!("v{k}"));
+            model.insert(k, format!("v{k}"));
+        }
+        let collect =
+            |it: Vec<(&u32, &String)>| -> Vec<u32> { it.iter().map(|(k, _)| **k).collect() };
+        for (lo, hi) in [(0, 100), (7, 8), (50, 250), (299, 300), (100, 100)] {
+            assert_eq!(
+                collect(map.range(lo..hi).collect()),
+                collect(model.range(lo..hi).collect()),
+                "[{lo}, {hi}) diverged"
+            );
+            assert_eq!(
+                collect(map.range(lo..=hi).collect()),
+                collect(model.range(lo..=hi).collect()),
+                "[{lo}, {hi}] diverged"
+            );
+        }
+        assert_eq!(collect(map.range(..).collect()), collect(model.range(..).collect()));
+        assert_eq!(map.iter().len(), model.len());
+    }
+
+    #[test]
+    fn every_backend_serves_a_map() {
+        for backend in Backend::ALL {
+            let mut map: LabelMap<u32, u32> =
+                ListBuilder::new().backend(backend).seed(13).label_map();
+            for k in (0..300u32).rev() {
+                map.insert(k, k * 2);
+            }
+            assert_eq!(map.len(), 300, "{}", backend.name());
+            assert_eq!(map.get(&123), Some(&246), "{}", backend.name());
+            let keys: Vec<u32> = map.keys().copied().collect();
+            assert!(keys.windows(2).all(|w| w[0] < w[1]), "{} unsorted", backend.name());
+        }
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let map: LabelMap<i32, i32> = (0..50).map(|k| (k, -k)).collect();
+        assert_eq!(map.len(), 50);
+        assert_eq!(map.get(&30), Some(&-30));
+    }
+}

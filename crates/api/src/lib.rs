@@ -1,0 +1,39 @@
+//! # lll-api — the production-facing API of layered list labeling
+//!
+//! The algorithms in this workspace speak the paper's language: fixed
+//! capacity, `insert(rank)`, raw [`OpReport`](lll_core::report::OpReport)
+//! move logs. Applications speak a different one — keys, stable
+//! references, maps that grow. This crate is the translation layer:
+//!
+//! * [`OrderedList<V>`](OrderedList) — order maintenance (Dietz '82, the
+//!   paper's footnote 1): stable handles, `push_front` / `push_back` /
+//!   `insert_after` / `insert_before`, and O(1) `order(a, b)` via a label
+//!   table maintained incrementally from the backends' move logs.
+//! * [`LabelMap<K, V>`](LabelMap) — a keyed sorted map (`insert` / `get` /
+//!   `remove` / `range` / `iter`) that keeps keys physically sorted in one
+//!   slot array, so range scans are contiguous memory sweeps — the
+//!   database-index motivation the paper opens with.
+//! * [`ListBuilder`] — the configuration entry point:
+//!   `ListBuilder::new().backend(Backend::Corollary11).seed(42).build()`.
+//!   Backends are selected at runtime ([`Backend`]), wrapped in
+//!   [`Growable`](lll_core::growable::Growable) for dynamic capacity (users
+//!   never choose `n` up front), and erased behind [`RawList`] — or kept
+//!   concrete for static dispatch via [`ListBuilder::build_growable`].
+//!
+//! Both containers are generic over [`RawList`], so the same code runs on
+//! the type-erased [`ErasedList`] or any concrete
+//! `Growable<B>` — including layered compositions the [`Backend`] enum
+//! doesn't enumerate.
+
+mod backend;
+mod label_map;
+mod ordered_list;
+
+pub use backend::{Backend, ErasedList, ListBuilder, RawList};
+pub use label_map::{LabelMap, Range};
+pub use ordered_list::OrderedList;
+
+// Re-exported so API users can hold handles and read reports without
+// depending on lll-core directly.
+pub use lll_core::growable::{GrowableStats, Handle};
+pub use lll_core::report::{MoveRec, OpReport};

@@ -1,0 +1,324 @@
+//! [`OrderedList`]: order maintenance with stable handles and O(1) order
+//! queries — Dietz '82, the application the paper's footnote 1 motivates.
+//!
+//! The list stores values in a list-labeling backend and keeps a **label
+//! table** (handle → slot position) maintained *incrementally from the
+//! move logs*: each operation's [`OpReport`] lists exactly the elements
+//! whose labels changed, so the total label-maintenance work equals the
+//! backend's move cost — precisely why low-cost list labeling matters for
+//! order maintenance. `order(a, b)` is then a single label comparison.
+//! Growth/shrink rebuilds (which relabel everything) are detected via the
+//! backend's epoch and resynchronized with one O(n) sweep, amortized free
+//! against the Ω(n) operations between rebuilds.
+
+use crate::backend::{ErasedList, ListBuilder, RawList};
+use lll_core::growable::Handle;
+use lll_core::report::OpReport;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// A dynamically sized ordered list with stable handles, O(1) `order`
+/// queries, and handle-relative insertion.
+///
+/// ```
+/// use lll_api::OrderedList;
+///
+/// let mut list = OrderedList::new();
+/// let b = list.push_front("b");
+/// let a = list.insert_before(b, "a");
+/// let c = list.insert_after(b, "c");
+/// assert!(list.precedes(a, b) && list.precedes(b, c));
+/// assert_eq!(list.remove(b), Some("b"));
+/// assert!(list.precedes(a, c));
+/// assert_eq!(list.iter().map(|(_, v)| *v).collect::<Vec<_>>(), ["a", "c"]);
+/// ```
+pub struct OrderedList<V, L: RawList = ErasedList> {
+    list: L,
+    label: HashMap<Handle, u32>,
+    value: HashMap<Handle, V>,
+}
+
+impl<V> OrderedList<V> {
+    /// An empty list on the default backend (Corollary 11, erased).
+    pub fn new() -> Self {
+        ListBuilder::new().ordered_list()
+    }
+}
+
+impl<V> Default for OrderedList<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V, L: RawList> OrderedList<V, L> {
+    /// Wrap an already-built backend — erased ([`ListBuilder::build`]) or
+    /// concrete ([`ListBuilder::build_growable`]) for static dispatch.
+    ///
+    /// Panics if the backend is non-empty: the label table must observe
+    /// every operation.
+    pub fn with_backend(list: L) -> Self {
+        assert!(list.is_empty(), "OrderedList requires an empty backend");
+        Self { list, label: HashMap::new(), value: HashMap::new() }
+    }
+
+    /// Current element count.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// True if no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// The underlying algorithm's name.
+    pub fn backend_name(&self) -> &'static str {
+        self.list.backend_name()
+    }
+
+    /// Total element moves the backend has performed — equal to the total
+    /// number of label-table rewrites outside rebuild resyncs (the paper's
+    /// cost model, surfaced).
+    pub fn total_moves(&self) -> u64 {
+        self.list.total_moves()
+    }
+
+    /// Growth/shrink rebuild statistics of the backend.
+    pub fn grow_stats(&self) -> lll_core::growable::GrowableStats {
+        self.list.grow_stats()
+    }
+
+    /// True if `h` refers to a live element.
+    pub fn contains(&self, h: Handle) -> bool {
+        self.value.contains_key(&h)
+    }
+
+    /// The value of `h`.
+    pub fn get(&self, h: Handle) -> Option<&V> {
+        self.value.get(&h)
+    }
+
+    /// Mutable access to the value of `h`.
+    pub fn get_mut(&mut self, h: Handle) -> Option<&mut V> {
+        self.value.get_mut(&h)
+    }
+
+    /// The handle of the first element.
+    pub fn front(&self) -> Option<Handle> {
+        (!self.is_empty()).then(|| self.list.handle_at_rank(0))
+    }
+
+    /// The handle of the last element.
+    pub fn back(&self) -> Option<Handle> {
+        (!self.is_empty()).then(|| self.list.handle_at_rank(self.len() - 1))
+    }
+
+    /// The current rank of `h` — O(log m) via its label. Ranks shift as
+    /// neighbors are inserted/deleted; handles don't.
+    pub fn rank(&self, h: Handle) -> Option<usize> {
+        self.label.get(&h).map(|&l| self.list.rank_at_label(l as usize))
+    }
+
+    /// The handle of the element of `rank`.
+    ///
+    /// Panics if `rank >= len`.
+    pub fn handle_at_rank(&self, rank: usize) -> Handle {
+        self.list.handle_at_rank(rank)
+    }
+
+    /// How `a` and `b` compare in list order — O(1), one label comparison.
+    ///
+    /// Panics if either handle is stale (use [`contains`](Self::contains)
+    /// to probe).
+    pub fn order(&self, a: Handle, b: Handle) -> Ordering {
+        self.label[&a].cmp(&self.label[&b])
+    }
+
+    /// True if `a` precedes `b` in list order — O(1).
+    pub fn precedes(&self, a: Handle, b: Handle) -> bool {
+        self.order(a, b) == Ordering::Less
+    }
+
+    /// Absorb one operation's label churn, or resync after a rebuild.
+    fn sync(&mut self, pre_epoch: u64, rep: &OpReport) {
+        if self.list.epoch() != pre_epoch {
+            self.label.clear();
+            for (h, pos) in self.list.labels_snapshot() {
+                self.label.insert(h, pos as u32);
+            }
+            return;
+        }
+        for (elem, pos) in rep.label_updates() {
+            if let Some(h) = self.list.handle_of_elem(elem) {
+                self.label.insert(h, pos as u32);
+            }
+        }
+    }
+
+    /// Insert `value` at `rank`, returning its stable handle.
+    ///
+    /// Panics if `rank > len`.
+    pub fn insert_at(&mut self, rank: usize, value: V) -> Handle {
+        let pre_epoch = self.list.epoch();
+        let (h, rep) = self.list.insert_reported(rank);
+        self.value.insert(h, value);
+        self.sync(pre_epoch, &rep);
+        h
+    }
+
+    /// Insert `value` as the new first element.
+    pub fn push_front(&mut self, value: V) -> Handle {
+        self.insert_at(0, value)
+    }
+
+    /// Insert `value` as the new last element.
+    pub fn push_back(&mut self, value: V) -> Handle {
+        self.insert_at(self.len(), value)
+    }
+
+    /// Insert `value` immediately after `after`.
+    ///
+    /// Panics if `after` is stale.
+    pub fn insert_after(&mut self, after: Handle, value: V) -> Handle {
+        let rank = self.rank(after).expect("insert_after on a stale handle");
+        self.insert_at(rank + 1, value)
+    }
+
+    /// Insert `value` immediately before `before`.
+    ///
+    /// Panics if `before` is stale.
+    pub fn insert_before(&mut self, before: Handle, value: V) -> Handle {
+        let rank = self.rank(before).expect("insert_before on a stale handle");
+        self.insert_at(rank, value)
+    }
+
+    /// Remove the element `h`, returning its value (`None` if stale).
+    pub fn remove(&mut self, h: Handle) -> Option<V> {
+        let rank = self.rank(h)?;
+        let pre_epoch = self.list.epoch();
+        let (gone, rep) = self.list.delete_reported(rank);
+        debug_assert_eq!(gone, h, "label table pointed at the wrong rank");
+        self.label.remove(&h);
+        let value = self.value.remove(&h);
+        self.sync(pre_epoch, &rep);
+        value
+    }
+
+    /// Remove and return the first element's `(handle, value)`.
+    pub fn pop_front(&mut self) -> Option<(Handle, V)> {
+        let h = self.front()?;
+        let v = self.remove(h)?;
+        Some((h, v))
+    }
+
+    /// Remove and return the last element's `(handle, value)`.
+    pub fn pop_back(&mut self) -> Option<(Handle, V)> {
+        let h = self.back()?;
+        let v = self.remove(h)?;
+        Some((h, v))
+    }
+
+    /// Iterate `(handle, &value)` in list order.
+    pub fn iter(&self) -> impl Iterator<Item = (Handle, &V)> + '_ {
+        self.list.labels_snapshot().into_iter().map(move |(h, _)| (h, &self.value[&h]))
+    }
+
+    /// Iterate values in list order.
+    pub fn values(&self) -> impl Iterator<Item = &V> + '_ {
+        self.iter().map(|(_, v)| v)
+    }
+
+    /// Verify the label table exactly mirrors the backend (O(n); used by
+    /// tests).
+    pub fn check_labels(&self) {
+        let snap = self.list.labels_snapshot();
+        assert_eq!(snap.len(), self.label.len(), "label table size diverged");
+        assert_eq!(snap.len(), self.value.len(), "value table size diverged");
+        for (h, pos) in snap {
+            assert_eq!(self.label.get(&h), Some(&(pos as u32)), "stale label for {h:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Backend;
+
+    #[test]
+    fn order_queries_match_ground_truth() {
+        let mut ol: OrderedList<usize> = ListBuilder::new().seed(5).ordered_list();
+        let mut handles = Vec::new();
+        for i in 0..500 {
+            let h = match handles.last() {
+                None => ol.push_back(i),
+                Some(&last) => ol.insert_after(last, i),
+            };
+            handles.push(h);
+        }
+        for i in (0..handles.len()).step_by(31) {
+            for j in (0..handles.len()).step_by(29) {
+                if i != j {
+                    assert_eq!(ol.precedes(handles[i], handles[j]), i < j);
+                }
+            }
+        }
+        ol.check_labels();
+    }
+
+    #[test]
+    fn labels_survive_growth_rebuilds() {
+        for backend in Backend::ALL {
+            let mut ol: OrderedList<u32> =
+                ListBuilder::new().backend(backend).initial_capacity(16).ordered_list();
+            let mut handles = Vec::new();
+            for i in 0..200 {
+                handles.push(ol.push_back(i));
+            }
+            assert!(ol.list.grow_stats().grows >= 1, "{} never grew", backend.name());
+            ol.check_labels();
+            for w in handles.windows(2) {
+                assert!(ol.precedes(w[0], w[1]), "{} order broke", backend.name());
+            }
+            // shrink back down and re-verify
+            for _ in 0..180 {
+                ol.pop_front();
+            }
+            ol.check_labels();
+            let rest: Vec<u32> = ol.values().copied().collect();
+            assert_eq!(rest, (180..200).collect::<Vec<u32>>(), "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn remove_returns_values_and_invalidates_handles() {
+        let mut ol = OrderedList::new();
+        let a = ol.push_back("a");
+        let b = ol.push_back("b");
+        assert_eq!(ol.remove(a), Some("a"));
+        assert_eq!(ol.remove(a), None);
+        assert!(!ol.contains(a));
+        assert!(ol.contains(b));
+        assert_eq!(ol.get(b), Some(&"b"));
+    }
+
+    #[test]
+    fn mid_list_edits_keep_order() {
+        let mut ol = OrderedList::new();
+        let mut cursor = ol.push_back(0);
+        for i in 1..100 {
+            cursor = ol.insert_after(cursor, i);
+        }
+        let mid = ol.handle_at_rank(50);
+        let x = ol.insert_after(mid, 1000);
+        let y = ol.insert_before(mid, 2000);
+        assert!(ol.precedes(y, mid) && ol.precedes(mid, x));
+        assert_eq!(ol.rank(y), Some(50));
+        assert_eq!(ol.rank(mid), Some(51));
+        assert_eq!(ol.rank(x), Some(52));
+        ol.remove(mid);
+        assert!(ol.precedes(y, x));
+        ol.check_labels();
+    }
+}

@@ -26,16 +26,32 @@ fn bench_baselines(c: &mut Criterion) {
     g.sample_size(10);
     for w in &workloads {
         g.bench_with_input(BenchmarkId::new("classic", &w.name), w, |bch, w| {
-            bch.iter_batched(|| (), |_| run_workload_bench(&ClassicBuilder, w), BatchSize::PerIteration)
+            bch.iter_batched(
+                || (),
+                |_| run_workload_bench(&ClassicBuilder, w),
+                BatchSize::PerIteration,
+            )
         });
         g.bench_with_input(BenchmarkId::new("adaptive", &w.name), w, |bch, w| {
-            bch.iter_batched(|| (), |_| run_workload_bench(&AdaptiveBuilder::default(), w), BatchSize::PerIteration)
+            bch.iter_batched(
+                || (),
+                |_| run_workload_bench(&AdaptiveBuilder::default(), w),
+                BatchSize::PerIteration,
+            )
         });
         g.bench_with_input(BenchmarkId::new("randomized", &w.name), w, |bch, w| {
-            bch.iter_batched(|| (), |_| run_workload_bench(&RandomizedBuilder::with_seed(1), w), BatchSize::PerIteration)
+            bch.iter_batched(
+                || (),
+                |_| run_workload_bench(&RandomizedBuilder::with_seed(1), w),
+                BatchSize::PerIteration,
+            )
         });
         g.bench_with_input(BenchmarkId::new("deamortized", &w.name), w, |bch, w| {
-            bch.iter_batched(|| (), |_| run_workload_bench(&DeamortizedBuilder::default(), w), BatchSize::PerIteration)
+            bch.iter_batched(
+                || (),
+                |_| run_workload_bench(&DeamortizedBuilder::default(), w),
+                BatchSize::PerIteration,
+            )
         });
     }
     g.finish();

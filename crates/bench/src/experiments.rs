@@ -51,11 +51,7 @@ impl ExpConfig {
     }
 }
 
-fn run_built<B: LabelingBuilder>(
-    b: &B,
-    label: &str,
-    w: &Workload,
-) -> (RunResult, B::Structure) {
+fn run_built<B: LabelingBuilder>(b: &B, label: &str, w: &Workload) -> (RunResult, B::Structure) {
     let mut s = b.build_default(w.peak);
     let mut r = run_workload(&mut s, w);
     r.structure = label.to_string();
@@ -104,11 +100,8 @@ pub fn e10_baselines(cfg: &ExpConfig) -> Vec<Table> {
     let fit_for = |name: &str, f: &dyn Fn(usize) -> f64| -> Vec<String> {
         let pts: Vec<(usize, f64)> = ns.iter().map(|&n| (n, f(n))).collect();
         let p = fit_log_exponent(&pts);
-        let desc = pts
-            .iter()
-            .map(|(n, c)| format!("{}:{}", n, fmt_f(*c)))
-            .collect::<Vec<_>>()
-            .join(" ");
+        let desc =
+            pts.iter().map(|(n, c)| format!("{}:{}", n, fmt_f(*c))).collect::<Vec<_>>().join(" ");
         vec![name.to_string(), fmt_f(p), desc]
     };
     shape.rows.push(fit_for("classic", &|n| {
@@ -280,7 +273,15 @@ pub fn e7_lemma5(cfg: &ExpConfig) -> Vec<Table> {
     );
     let mut decomp = Table::new(
         "E2 Figure 2 accounting: embedding cost decomposition",
-        &["workload", "total moves", "r-shell", "deadweight", "incorporations", "fast ops", "slow ops"],
+        &[
+            "workload",
+            "total moves",
+            "r-shell",
+            "deadweight",
+            "incorporations",
+            "fast ops",
+            "slow ops",
+        ],
     );
     for w in [
         wl::hammer_inserts(n, 0),
@@ -369,7 +370,8 @@ pub fn e12_ablation(cfg: &ExpConfig) -> Vec<Table> {
         &["epsilon", "er_mult", "rebuild_mult", "amortized", "max/op", "max buffered"],
     );
     for &epsilon in &[1.0 / 6.0, 1.0 / 3.0, 1.0 / 2.0] {
-        for &(er_mult, rebuild_mult) in &[(1.0, 1.0), (1.0, 2.0), (1.0, 4.0), (0.5, 2.0), (2.0, 2.0)]
+        for &(er_mult, rebuild_mult) in
+            &[(1.0, 1.0), (1.0, 2.0), (1.0, 4.0), (0.5, 2.0), (2.0, 2.0)]
         {
             let b = EmbedBuilder {
                 f: AdaptiveBuilder::default(),

@@ -50,11 +50,7 @@ impl ListLabeling for ShiftArray {
         }
         let id = self.ids.fresh();
         self.slots.place(rank, id);
-        OpReport {
-            moves: self.slots.drain_log(),
-            placed: Some((id, rank as u32)),
-            removed: None,
-        }
+        OpReport { moves: self.slots.drain_log(), placed: Some((id, rank as u32)), removed: None }
     }
 
     fn delete(&mut self, rank: usize) -> OpReport {
@@ -64,11 +60,7 @@ impl ListLabeling for ShiftArray {
         for r in rank + 1..len {
             self.slots.move_elem(r, r - 1);
         }
-        OpReport {
-            moves: self.slots.drain_log(),
-            placed: None,
-            removed: Some((id, rank as u32)),
-        }
+        OpReport { moves: self.slots.drain_log(), placed: None, removed: Some((id, rank as u32)) }
     }
 
     fn slots(&self) -> &SlotArray {

@@ -285,8 +285,7 @@ mod tests {
                     f.add(p, 1);
                 }
             }
-            let marks: Vec<usize> =
-                (0..n).filter(|&i| naive[i]).collect();
+            let marks: Vec<usize> = (0..n).filter(|&i| naive[i]).collect();
             assert_eq!(marked(&f), marks);
             for (k, &p) in marks.iter().enumerate() {
                 assert_eq!(f.select(k as u64), Some(p));

@@ -15,6 +15,7 @@
 
 use crate::ids::{ElemId, IdGen};
 use crate::ops::Op;
+use crate::report::OpReport;
 use crate::traits::{LabelingBuilder, ListLabeling};
 use std::collections::HashMap;
 
@@ -44,6 +45,9 @@ pub struct Growable<B: LabelingBuilder> {
     stats: GrowableStats,
     /// Moves performed by ordinary operations (not rebuilds).
     op_moves: u64,
+    /// Bumped on every rebuild. All labels (slot positions) are invalidated
+    /// when this changes; see [`Growable::epoch`].
+    epoch: u64,
 }
 
 impl<B: LabelingBuilder> Growable<B> {
@@ -59,6 +63,7 @@ impl<B: LabelingBuilder> Growable<B> {
             min_capacity: cap,
             stats: GrowableStats::default(),
             op_moves: 0,
+            epoch: 0,
         }
     }
 
@@ -80,6 +85,46 @@ impl<B: LabelingBuilder> Growable<B> {
     /// Growth statistics.
     pub fn stats(&self) -> GrowableStats {
         self.stats
+    }
+
+    /// The rebuild epoch. Labels returned before the epoch last changed are
+    /// stale: a rebuild rewrites every slot position. Callers maintaining
+    /// label tables from operation reports (see `lll-api`) compare epochs
+    /// around each operation and resynchronize from
+    /// [`labels_snapshot`](Self::labels_snapshot) after a rebuild.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The inner fixed-capacity structure of the current epoch (for
+    /// introspection — diagnostics, views, slot-array access). It is
+    /// replaced wholesale on every rebuild.
+    pub fn inner(&self) -> &B::Structure {
+        &self.inner
+    }
+
+    /// The stable handle of the element currently stored as `elem`, or
+    /// `None` if `elem` is not a live identity of the current epoch.
+    /// Translates [`MoveRec`](crate::report::MoveRec) entries into handles.
+    pub fn handle_of_elem(&self, elem: ElemId) -> Option<Handle> {
+        self.handle_of.get(&elem).copied()
+    }
+
+    /// The rank of the element whose label (slot position) is `label`.
+    pub fn rank_at_label(&self, label: usize) -> usize {
+        self.inner.slots().rank_at(label)
+    }
+
+    /// `(handle, label)` for every element in rank order — a full
+    /// left-to-right sweep of the slot array. This is the resynchronization
+    /// path for label tables after a rebuild.
+    pub fn labels_snapshot(&self) -> Vec<(Handle, usize)> {
+        self.inner.slots().iter_occupied().map(|(pos, e)| (self.handle_of[&e], pos)).collect()
+    }
+
+    /// The inner algorithm's name (stable across rebuilds).
+    pub fn backend_name(&self) -> &'static str {
+        self.inner.name()
     }
 
     /// Total element moves from ordinary operations (rebuild moves are
@@ -120,10 +165,22 @@ impl<B: LabelingBuilder> Growable<B> {
         }
         self.inner = fresh;
         self.handle_of = handle_of;
+        self.epoch += 1;
     }
 
     /// Insert a new element at `rank`, growing if necessary.
     pub fn insert(&mut self, rank: usize) -> Handle {
+        self.insert_reported(rank).0
+    }
+
+    /// [`insert`](Self::insert), also returning the operation's move log.
+    ///
+    /// The report covers the insertion itself, not any growth rebuild that
+    /// preceded it: a rebuild rewrites *every* label, which the report
+    /// format cannot express compactly. Callers detect rebuilds by
+    /// comparing [`epoch`](Self::epoch) around the call and resynchronize
+    /// from [`labels_snapshot`](Self::labels_snapshot).
+    pub fn insert_reported(&mut self, rank: usize) -> (Handle, OpReport) {
         assert!(rank <= self.len(), "insert rank {rank} > len {}", self.len());
         if self.len() == self.capacity() {
             self.stats.grows += 1;
@@ -133,11 +190,19 @@ impl<B: LabelingBuilder> Growable<B> {
         self.op_moves += rep.cost();
         let h = Handle(self.ids.fresh().0);
         self.handle_of.insert(rep.placed.expect("insert places").0, h);
-        h
+        (h, rep)
     }
 
     /// Delete the element of `rank`, shrinking at quarter load.
     pub fn delete(&mut self, rank: usize) -> Handle {
+        self.delete_reported(rank).0
+    }
+
+    /// [`delete`](Self::delete), also returning the operation's move log
+    /// (same rebuild caveat as [`insert_reported`](Self::insert_reported):
+    /// a shrink that follows the deletion is signalled by the epoch, not by
+    /// the report).
+    pub fn delete_reported(&mut self, rank: usize) -> (Handle, OpReport) {
         assert!(rank < self.len(), "delete rank {rank} >= len {}", self.len());
         let rep = self.inner.delete(rank);
         self.op_moves += rep.cost();
@@ -148,7 +213,7 @@ impl<B: LabelingBuilder> Growable<B> {
             let target = (self.capacity() / 2).max(self.min_capacity);
             self.rebuild(target);
         }
-        h
+        (h, rep)
     }
 
     /// Apply an [`Op`].
@@ -254,6 +319,36 @@ mod tests {
             }
         }
         check_growable(ClassicBuilder, &ops);
+    }
+
+    #[test]
+    fn reported_ops_epoch_and_snapshot() {
+        let mut g = Growable::new(ClassicBuilder, 16);
+        let e0 = g.epoch();
+        let (h0, rep) = g.insert_reported(0);
+        // The placement reaches the report and translates back to the handle.
+        let placed = rep.placed.expect("insert places").0;
+        assert_eq!(g.handle_of_elem(placed), Some(h0));
+        assert_eq!(g.epoch(), e0, "no rebuild yet");
+        // Fill past capacity: epoch must bump, snapshot must mirror order.
+        let mut handles = vec![h0];
+        for i in 1..40 {
+            handles.push(g.insert(i));
+        }
+        assert!(g.epoch() > e0, "growth must bump the epoch");
+        let snap = g.labels_snapshot();
+        assert_eq!(snap.iter().map(|&(h, _)| h).collect::<Vec<_>>(), handles);
+        assert!(snap.windows(2).all(|w| w[0].1 < w[1].1), "labels increase with rank");
+        for (h, pos) in snap {
+            assert_eq!(g.rank_at_label(pos), g.rank_of(h).unwrap());
+        }
+        // The inner structure is reachable for introspection.
+        assert_eq!(g.inner().len(), g.len());
+        assert_eq!(g.backend_name(), g.inner().name());
+        // Deleting returns the handle and its report.
+        let (gone, rep) = g.delete_reported(0);
+        assert_eq!(gone, handles[0]);
+        assert_eq!(rep.removed.map(|(e, _)| e), rep.removed_elem());
     }
 
     #[test]

@@ -82,10 +82,7 @@ impl<P: RebalancePolicy> PmaBase<P> {
     /// Build an empty PMA of `capacity` elements over `num_slots` slots.
     pub fn new(capacity: usize, num_slots: usize, policy: P) -> Self {
         assert!(capacity >= 1, "capacity must be positive");
-        assert!(
-            num_slots > capacity,
-            "PMA needs slack: capacity={capacity} num_slots={num_slots}"
-        );
+        assert!(num_slots > capacity, "PMA needs slack: capacity={capacity} num_slots={num_slots}");
         Self {
             slots: SlotArray::new(num_slots),
             tree: SegTree::new(num_slots),

@@ -20,9 +20,9 @@ proptest! {
         let f = Fenwick::from_bits(n, bits.iter().copied());
         // prefix counts
         let mut count = 0u64;
-        for i in 0..n {
+        for (i, &bit) in bits.iter().enumerate() {
             prop_assert_eq!(f.prefix(i), count);
-            if bits[i] {
+            if bit {
                 count += 1;
             }
         }

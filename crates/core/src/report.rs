@@ -48,6 +48,34 @@ impl OpReport {
         self.moves.len() as u64
     }
 
+    /// For insertions: the identity of the newly placed element.
+    #[inline]
+    pub fn placed_elem(&self) -> Option<ElemId> {
+        self.placed.map(|(e, _)| e)
+    }
+
+    /// For insertions: the label (slot position) the new element received.
+    #[inline]
+    pub fn placed_label(&self) -> Option<usize> {
+        self.placed.map(|(_, p)| p as usize)
+    }
+
+    /// For deletions: the identity of the removed element.
+    #[inline]
+    pub fn removed_elem(&self) -> Option<ElemId> {
+        self.removed.map(|(e, _)| e)
+    }
+
+    /// `(elem, new_label)` for every element whose label this operation
+    /// changed, in move order — exactly the updates a label table keyed by
+    /// element must apply (the placement of a new element is included).
+    pub fn label_updates(&self) -> impl Iterator<Item = (ElemId, usize)> + '_ {
+        self.moves
+            .iter()
+            .map(|mv| (mv.elem, mv.to as usize))
+            .chain(self.placed.map(|(e, p)| (e, p as usize)))
+    }
+
     /// Merge another report's moves into this one (used by composite
     /// structures such as the embedding, which perform moves through several
     /// sub-structures during one logical operation).
@@ -73,6 +101,23 @@ mod tests {
         r.moves.push(MoveRec { elem: ElemId(1), from: 0, to: 3 });
         r.moves.push(MoveRec { elem: ElemId(2), from: 3, to: 3 });
         assert_eq!(r.cost(), 2);
+    }
+
+    #[test]
+    fn accessors_project_the_fields() {
+        let mut r = OpReport::default();
+        assert_eq!(r.placed_elem(), None);
+        assert_eq!(r.removed_elem(), None);
+        assert_eq!(r.label_updates().count(), 0);
+        r.moves.push(MoveRec { elem: ElemId(1), from: 0, to: 3 });
+        r.placed = Some((ElemId(2), 6));
+        r.removed = Some((ElemId(3), 1));
+        assert_eq!(r.placed_elem(), Some(ElemId(2)));
+        assert_eq!(r.placed_label(), Some(6));
+        assert_eq!(r.removed_elem(), Some(ElemId(3)));
+        // label_updates: every move, then the placement, in order.
+        let ups: Vec<(ElemId, usize)> = r.label_updates().collect();
+        assert_eq!(ups, vec![(ElemId(1), 3), (ElemId(2), 6)]);
     }
 
     #[test]

@@ -34,12 +34,7 @@ pub struct SlotArray {
 impl SlotArray {
     /// An empty array of `m` slots.
     pub fn new(m: usize) -> Self {
-        Self {
-            contents: vec![None; m],
-            occ: Fenwick::new(m),
-            log: Vec::new(),
-            lifetime_moves: 0,
-        }
+        Self { contents: vec![None; m], occ: Fenwick::new(m), log: Vec::new(), lifetime_moves: 0 }
     }
 
     /// Number of slots.
@@ -132,9 +127,8 @@ impl SlotArray {
     /// Remove and return the element at `pos`. Cost 0 (removal is not a
     /// move in the paper's cost model).
     pub fn remove(&mut self, pos: usize) -> ElemId {
-        let elem = self.contents[pos]
-            .take()
-            .unwrap_or_else(|| panic!("remove from empty slot {pos}"));
+        let elem =
+            self.contents[pos].take().unwrap_or_else(|| panic!("remove from empty slot {pos}"));
         self.occ.add(pos, -1);
         elem
     }
@@ -148,9 +142,8 @@ impl SlotArray {
             let elem = self.contents[from].expect("move from empty slot");
             return elem;
         }
-        let elem = self.contents[from]
-            .take()
-            .unwrap_or_else(|| panic!("move from empty slot {from}"));
+        let elem =
+            self.contents[from].take().unwrap_or_else(|| panic!("move from empty slot {from}"));
         assert!(
             self.contents[to].is_none(),
             "move into occupied slot {to} ({:?})",
@@ -190,10 +183,7 @@ impl SlotArray {
 
     /// Iterate `(position, elem)` over occupied slots in position order.
     pub fn iter_occupied(&self) -> impl Iterator<Item = (usize, ElemId)> + '_ {
-        self.contents
-            .iter()
-            .enumerate()
-            .filter_map(|(i, c)| c.map(|e| (i, e)))
+        self.contents.iter().enumerate().filter_map(|(i, c)| c.map(|e| (i, e)))
     }
 
     /// Snapshot of the full layout.

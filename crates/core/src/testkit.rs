@@ -108,7 +108,7 @@ pub fn fit_log_exponent(points: &[(usize, f64)]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pma::{ClassicBuilder, run_ops};
+    use crate::pma::{run_ops, ClassicBuilder};
     use crate::traits::LabelingBuilder;
 
     #[test]

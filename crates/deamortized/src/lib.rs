@@ -376,10 +376,7 @@ impl DeamortizedPma {
         }
         // 2. Shift within shift_cap.
         let anchor = pred.or(succ).unwrap();
-        let left = succ
-            .map(|q| q.saturating_sub(1))
-            .or(pred)
-            .and_then(|s| self.slots.prev_free(s));
+        let left = succ.map(|q| q.saturating_sub(1)).or(pred).and_then(|s| self.slots.prev_free(s));
         let right = pred.map(|p| p + 1).or(succ).and_then(|s| self.slots.next_free(s));
         let dl = left.map(|l| anchor.saturating_sub(l)).unwrap_or(usize::MAX);
         let dr = right.map(|r| r.saturating_sub(anchor)).unwrap_or(usize::MAX);
@@ -596,11 +593,7 @@ impl ListLabeling for DeamortizedPma {
         let pos = self.make_room(rank);
         let id = self.place_tracked(pos);
         self.patrol_upper(pos);
-        OpReport {
-            moves: self.slots.drain_log(),
-            placed: Some((id, pos as u32)),
-            removed: None,
-        }
+        OpReport { moves: self.slots.drain_log(), placed: Some((id, pos as u32)), removed: None }
     }
 
     fn delete(&mut self, rank: usize) -> OpReport {
@@ -610,11 +603,7 @@ impl ListLabeling for DeamortizedPma {
         let pos = self.slots.select(rank);
         let id = self.remove_tracked(pos);
         self.patrol_lower(pos);
-        OpReport {
-            moves: self.slots.drain_log(),
-            placed: None,
-            removed: Some((id, pos as u32)),
-        }
+        OpReport { moves: self.slots.drain_log(), placed: None, removed: Some((id, pos as u32)) }
     }
 
     fn slots(&self) -> &SlotArray {
@@ -652,8 +641,7 @@ impl LabelingBuilder for DeamortizedBuilder {
     fn worst_case_hint(&self, capacity: usize) -> f64 {
         let lg = log2f(capacity);
         // job quota + placement shift + inline rebalance, in move units
-        (self.cfg.work_mult + self.cfg.inline_cap_mult) * lg * lg
-            + self.cfg.shift_cap_mult * lg
+        (self.cfg.work_mult + self.cfg.inline_cap_mult) * lg * lg + self.cfg.shift_cap_mult * lg
     }
 }
 
@@ -717,10 +705,7 @@ mod tests {
         for _ in 0..n {
             max = max.max(z.insert(0).cost());
         }
-        assert!(
-            (max as f64) < budget,
-            "worst op {max} exceeded deamortized budget {budget}"
-        );
+        assert!((max as f64) < budget, "worst op {max} exceeded deamortized budget {budget}");
         assert_eq!(z.stats().forced_syncs, 0, "safety valve should not fire");
     }
 

@@ -138,8 +138,7 @@ impl Checkpoint {
         self.jobs[self.job_idx..]
             .iter()
             .map(|j| {
-                2 * (j.targets.len() - j.placed) as u64
-                    + 2 * (j.deferred.len() - j.placed2) as u64
+                2 * (j.targets.len() - j.placed) as u64 + 2 * (j.deferred.len() - j.placed2) as u64
             })
             .sum()
     }
@@ -568,9 +567,7 @@ impl<F: ListLabeling, R: ListLabeling> Embed<F, R> {
             t.push((true, slot_rank));
         }
         let rep_i = self.shell.insert(slot_rank);
-        let p_new = self
-            .mirror_shell(&rep_i, Some(SlotTag::Buf))
-            .expect("shell insert must place");
+        let p_new = self.mirror_shell(&rep_i, Some(SlotTag::Buf)).expect("shell insert must place");
         debug_assert_eq!(self.tags.tag(p_new), SlotTag::Buf);
         // (iii) put x into the new buffer slot.
         self.tags.place_content(p_new, emb_id);
@@ -1008,8 +1005,8 @@ impl<FB: LabelingBuilder, RB: LabelingBuilder> LabelingBuilder for EmbedBuilder<
         let eps_n = ((capacity as f64 * self.cfg.epsilon).ceil() as usize).max(1);
         // F gets (1+ε)n slots, or more if F itself needs extra slack (e.g.
         // when F is another embedding).
-        let f_slots = (capacity + eps_n)
-            .max((capacity as f64 * self.f.min_slack()).ceil() as usize + 1);
+        let f_slots =
+            (capacity + eps_n).max((capacity as f64 * self.f.min_slack()).ceil() as usize + 1);
         let r_cap = f_slots + eps_n;
         assert!(
             num_slots >= r_cap + eps_n,

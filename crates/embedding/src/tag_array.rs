@@ -402,7 +402,7 @@ mod tests {
         assert_eq!(t.last_buffered_real_in(0, 6), Some(2));
         assert_eq!(t.buffered_reals_in(0, 6), 1);
         assert_eq!(t.buffered_reals_in(2, 6), 0); // strictly inside
-        // move content to the other buffer slot
+                                                  // move content to the other buffer slot
         t.move_content(2, 4);
         assert_eq!(t.first_buffered_real_in(0, 6), Some(4));
         t.check_consistent();

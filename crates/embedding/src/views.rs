@@ -43,9 +43,7 @@ pub fn emulator_view<F: ListLabeling, R: ListLabeling>(e: &Embed<F, R>) -> Strin
 /// real buffered elements apart.
 pub fn shell_view<F: ListLabeling, R: ListLabeling>(e: &Embed<F, R>) -> String {
     let tags = e.tag_array();
-    (0..tags.num_slots())
-        .map(|p| if tags.tag(p) == SlotTag::White { '.' } else { '#' })
-        .collect()
+    (0..tags.num_slots()).map(|p| if tags.tag(p) == SlotTag::White { '.' } else { '#' }).collect()
 }
 
 /// All three views stacked, labeled like Figure 1.

@@ -343,11 +343,7 @@ impl<P: RankPredictor> ListLabeling for PredictedPma<P> {
                 }
             }
         }
-        OpReport {
-            moves: self.slots.drain_log(),
-            placed: None,
-            removed: Some((elem, pos as u32)),
-        }
+        OpReport { moves: self.slots.drain_log(), placed: None, removed: Some((elem, pos as u32)) }
     }
 
     fn slots(&self) -> &SlotArray {

@@ -275,9 +275,6 @@ mod tests {
             total += c;
         }
         let mean = total as f64 / n as f64;
-        assert!(
-            max as f64 > 8.0 * mean,
-            "expected spiky costs: max {max} vs mean {mean:.1}"
-        );
+        assert!(max as f64 > 8.0 * mean, "expected spiky costs: max {max} vs mean {mean:.1}");
     }
 }

@@ -1,0 +1,175 @@
+//! Offline stand-in for the `criterion` crate (API-compatible subset).
+//!
+//! The workspace builds hermetically with no crates.io access, so the slice
+//! of `criterion` its benches use is reimplemented here and wired in as a
+//! path dependency with the package name `criterion`. Benches compile and
+//! run (`cargo bench`) and print wall-clock means, but there is no
+//! statistical analysis, HTML report, or baseline comparison.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched iteration amortizes setup; accepted for compatibility and
+/// treated identically (each iteration runs its own setup, untimed).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// One setup per timed iteration.
+    PerIteration,
+    /// Accepted for compatibility.
+    SmallInput,
+    /// Accepted for compatibility.
+    LargeInput,
+}
+
+/// A `group/function/parameter` benchmark label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Label a benchmark with a function name and a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    samples: u64,
+    elapsed: Duration,
+    timed_iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` directly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(routine());
+            self.elapsed += t.elapsed();
+            self.timed_iters += 1;
+        }
+    }
+
+    /// Time `routine` on inputs produced by `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t.elapsed();
+            self.timed_iters += 1;
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { samples: self.sample_size, elapsed: Duration::ZERO, timed_iters: 0 };
+        f(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Run one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.sample_size, elapsed: Duration::ZERO, timed_iters: 0 };
+        f(&mut b);
+        self.report(&id.into(), &b);
+        self
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let mean =
+            if b.timed_iters == 0 { Duration::ZERO } else { b.elapsed / b.timed_iters as u32 };
+        println!("{}/{id}: mean {mean:?} over {} iters", self.name, b.timed_iters);
+    }
+
+    /// End the group (upstream emits summaries here; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 10, _criterion: self }
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($fun:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $fun(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter_batched(|| n, |n| (0..n).sum::<u64>(), BatchSize::PerIteration)
+        });
+        g.bench_function("direct", |b| b.iter(|| black_box(2 + 2)));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

@@ -3,85 +3,16 @@
 //! indexing at PODS'99; packed-memory arrays power cache-friendly indexes
 //! because a range scan is a contiguous memory sweep).
 //!
-//! The index keeps keys physically sorted in one slot array. Point lookups
-//! binary-search ranks; range scans walk consecutive ranks. We ingest a
-//! bulk-load-heavy workload (sorted runs — the pattern that punishes
-//! non-adaptive structures) into both the classical PMA and the layered
-//! structure of Corollary 11 and compare move costs.
+//! [`LabelMap`] is the library's index front-end: a keyed sorted map that
+//! keeps keys physically sorted in one slot array, growing on demand. We
+//! ingest a bulk-load-heavy workload (interleaved sorted runs — the
+//! pattern that punishes non-adaptive structures) into the classical PMA
+//! backend and the layered structure of Corollary 11 and compare move
+//! costs; the map's `total_moves()` surfaces the paper's cost model.
 //!
 //! Run with: `cargo run --release --example database_index`
 
-use layered_list_labeling::classic::ClassicBuilder;
-use layered_list_labeling::core::ids::ElemId;
-use layered_list_labeling::core::traits::{LabelingBuilder, ListLabeling};
-use layered_list_labeling::embedding::corollary11;
-use std::collections::HashMap;
-
-/// An ordered index: keys sorted in a list-labeling structure, payloads in
-/// a side table keyed by element identity.
-struct OrderedIndex<L: ListLabeling> {
-    list: L,
-    payload: HashMap<ElemId, (u64, String)>,
-    moves: u64,
-}
-
-impl<L: ListLabeling> OrderedIndex<L> {
-    fn new(list: L) -> Self {
-        Self { list, payload: HashMap::new(), moves: 0 }
-    }
-
-    fn key_at_rank(&self, rank: usize) -> u64 {
-        let id = self.list.elem_at_rank(rank);
-        self.payload[&id].0
-    }
-
-    /// Rank of the smallest key ≥ `key`.
-    fn lower_bound(&self, key: u64) -> usize {
-        let (mut lo, mut hi) = (0usize, self.list.len());
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            if self.key_at_rank(mid) < key {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
-        }
-        lo
-    }
-
-    fn insert(&mut self, key: u64, value: String) {
-        let rank = self.lower_bound(key);
-        let rep = self.list.insert(rank);
-        self.moves += rep.cost();
-        let (id, _) = rep.placed.expect("insert places");
-        self.payload.insert(id, (key, value));
-    }
-
-    fn get(&self, key: u64) -> Option<&str> {
-        let r = self.lower_bound(key);
-        if r < self.list.len() && self.key_at_rank(r) == key {
-            Some(self.payload[&self.list.elem_at_rank(r)].1.as_str())
-        } else {
-            None
-        }
-    }
-
-    /// All `(key, value)` pairs with key in `[lo, hi)`, by walking ranks —
-    /// physically, a left-to-right sweep of one array.
-    fn range(&self, lo: u64, hi: u64) -> Vec<(u64, &str)> {
-        let mut out = Vec::new();
-        let mut r = self.lower_bound(lo);
-        while r < self.list.len() {
-            let (k, v) = &self.payload[&self.list.elem_at_rank(r)];
-            if *k >= hi {
-                break;
-            }
-            out.push((*k, v.as_str()));
-            r += 1;
-        }
-        out
-    }
-}
+use layered_list_labeling::prelude::*;
 
 /// Bulk-ingest: sorted runs of keys, interleaved — the classic index
 /// bulk-load pattern.
@@ -96,8 +27,8 @@ fn workload(n_runs: usize, run_len: usize) -> Vec<u64> {
     keys
 }
 
-fn ingest<L: ListLabeling>(list: L, keys: &[u64]) -> OrderedIndex<L> {
-    let mut idx = OrderedIndex::new(list);
+fn ingest(backend: Backend, keys: &[u64]) -> LabelMap<u64, String> {
+    let mut idx: LabelMap<u64, String> = ListBuilder::new().backend(backend).seed(7).label_map();
     for &k in keys {
         idx.insert(k, format!("row-{k}"));
     }
@@ -111,39 +42,37 @@ fn main() {
     let n = keys.len();
     println!("ingesting {n} keys in {n_runs} interleaved sorted runs\n");
 
-    let classic = ClassicBuilder.build_default(n);
-    let idx_classic = ingest(classic, &keys);
+    let idx_classic = ingest(Backend::Classic, &keys);
+    let idx_layered = ingest(Backend::Corollary11, &keys);
 
-    let layered = corollary11(n, 7);
-    let idx_layered = ingest(layered, &keys);
-
-    println!("ingest cost (element moves):");
+    println!("ingest cost (element moves, growth rebuilds included):");
     println!(
         "  classical PMA : {:>9} total  ({:.2}/insert)",
-        idx_classic.moves,
-        idx_classic.moves as f64 / n as f64
+        idx_classic.total_moves(),
+        idx_classic.total_moves() as f64 / n as f64
     );
     println!(
         "  layered (C11) : {:>9} total  ({:.2}/insert)",
-        idx_layered.moves,
-        idx_layered.moves as f64 / n as f64
+        idx_layered.total_moves(),
+        idx_layered.total_moves() as f64 / n as f64
     );
 
     // Point lookups and range scans behave identically on both.
-    assert_eq!(idx_classic.get(170), Some("row-170"));
-    assert_eq!(idx_layered.get(170), Some("row-170"));
-    assert_eq!(idx_classic.get(171), None);
+    assert_eq!(idx_classic.get(&170).map(String::as_str), Some("row-170"));
+    assert_eq!(idx_layered.get(&170).map(String::as_str), Some("row-170"));
+    assert_eq!(idx_classic.get(&171), None);
 
-    let scan = idx_layered.range(100, 400);
+    let scan: Vec<(u64, &str)> =
+        idx_layered.range(100..400).map(|(k, v)| (*k, v.as_str())).collect();
     println!("\nrange scan [100, 400): {} rows", scan.len());
     for (k, v) in scan.iter().take(5) {
         println!("  {k:>5} -> {v}");
     }
-    let scan_c = idx_classic.range(100, 400);
+    let scan_c: Vec<u64> = idx_classic.range(100..400).map(|(k, _)| *k).collect();
     assert_eq!(
         scan.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
-        scan_c.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+        scan_c,
         "both indexes must return identical scans"
     );
-    println!("\nscan results identical across structures ✓");
+    println!("\nscan results identical across backends ✓");
 }

@@ -5,6 +5,10 @@
 //! Legend: `F` occupied F-slot · `f` free F-slot · `B` buffered element ·
 //! `b` buffer dummy · `.` R-empty slot.
 //!
+//! (This example deliberately stays on the paper-level API — the views
+//! render the concrete `Embed` type's internals, which the production
+//! `lll-api` layer intentionally erases.)
+//!
 //! Run with: `cargo run --example figure_views`
 
 use layered_list_labeling::adaptive::AdaptiveBuilder;
@@ -34,8 +38,10 @@ fn main() {
     }
 
     let s = e.stats();
-    println!("stats so far: fast={} slow={} rebuilds={} max-deadweight={}",
-        s.fast_ops, s.slow_ops, s.rebuilds_completed, s.max_deadweight);
+    println!(
+        "stats so far: fast={} slow={} rebuilds={} max-deadweight={}",
+        s.fast_ops, s.slow_ops, s.rebuilds_completed, s.max_deadweight
+    );
 
     // Deletions leave ghosts in the F-emulator until it catches up.
     for _ in 0..4 {

@@ -3,73 +3,34 @@
 //! Packed-CSR / PPCSR / Terrace-style graph containers because neighbor
 //! scans are contiguous array sweeps even under edge insertions).
 //!
-//! Edges `(u, v)` are kept sorted lexicographically in one list-labeling
-//! structure; `neighbors(u)` is a rank-range walk. We build a random graph
-//! incrementally (edges arrive in random order — the dynamic-graph
-//! pattern) and run a BFS over the packed representation.
+//! Edges `(u, v)` are the keys of a [`LabelMap`], kept sorted
+//! lexicographically in one slot array; `neighbors(u)` is a key-range walk
+//! `(u, 0) ..= (u, MAX)`. We build a random graph incrementally (edges
+//! arrive in random order — the dynamic-graph pattern) and run a BFS over
+//! the packed representation.
 //!
 //! Run with: `cargo run --release --example graph_edges`
 
-use layered_list_labeling::core::ids::ElemId;
-use layered_list_labeling::core::traits::{LabelingBuilder, ListLabeling};
-use layered_list_labeling::deamortized::DeamortizedBuilder;
+use layered_list_labeling::prelude::*;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
-struct PackedGraph<L: ListLabeling> {
-    list: L,
-    edge_of: HashMap<ElemId, (u32, u32)>,
-    worst_op: u64,
-    total: u64,
+struct PackedGraph {
+    edges: LabelMap<(u32, u32), ()>,
 }
 
-impl<L: ListLabeling> PackedGraph<L> {
-    fn new(list: L) -> Self {
-        Self { list, edge_of: HashMap::new(), worst_op: 0, total: 0 }
-    }
-
-    fn edge_at_rank(&self, r: usize) -> (u32, u32) {
-        self.edge_of[&self.list.elem_at_rank(r)]
-    }
-
-    fn lower_bound(&self, key: (u32, u32)) -> usize {
-        let (mut lo, mut hi) = (0usize, self.list.len());
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            if self.edge_at_rank(mid) < key {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
-        }
-        lo
+impl PackedGraph {
+    fn new(backend: Backend) -> Self {
+        Self { edges: ListBuilder::new().backend(backend).seed(3).label_map() }
     }
 
     fn insert_edge(&mut self, u: u32, v: u32) {
-        let rank = self.lower_bound((u, v));
-        if rank < self.list.len() && self.edge_at_rank(rank) == (u, v) {
-            return; // already present
-        }
-        let rep = self.list.insert(rank);
-        self.total += rep.cost();
-        self.worst_op = self.worst_op.max(rep.cost());
-        self.edge_of.insert(rep.placed.expect("placed").0, (u, v));
+        self.edges.insert((u, v), ());
     }
 
-    /// Neighbors of `u`: a contiguous rank walk (physically, a contiguous
-    /// array sweep — the whole point of packed graph layouts).
+    /// Neighbors of `u`: a contiguous key-range walk (physically, a
+    /// contiguous array sweep — the whole point of packed graph layouts).
     fn neighbors(&self, u: u32) -> Vec<u32> {
-        let mut out = Vec::new();
-        let mut r = self.lower_bound((u, 0));
-        while r < self.list.len() {
-            let (a, b) = self.edge_at_rank(r);
-            if a != u {
-                break;
-            }
-            out.push(b);
-            r += 1;
-        }
-        out
+        self.edges.range((u, 0)..=(u, u32::MAX)).map(|((_, v), _)| *v).collect()
     }
 
     fn bfs(&self, src: u32, nv: usize) -> Vec<i32> {
@@ -108,19 +69,18 @@ fn main() {
 
     // The deamortized structure is the natural choice for streaming graph
     // updates: every edge insertion has bounded latency.
-    let mut g = PackedGraph::new(DeamortizedBuilder::default().build_default(2 * ne + nv));
+    let mut g = PackedGraph::new(Backend::Deamortized);
     for &(u, v) in &edges {
         g.insert_edge(u, v);
         g.insert_edge(v, u);
     }
     println!(
-        "packed CSR: {} directed edges ingested; amortized {:.2} moves/edge, worst op {} moves",
-        g.list.len(),
-        g.total as f64 / g.list.len().max(1) as f64,
-        g.worst_op
+        "packed CSR: {} directed edges ingested; amortized {:.2} moves/edge",
+        g.edges.len(),
+        g.edges.total_moves() as f64 / g.edges.len().max(1) as f64,
     );
 
-    // sanity: adjacency is sorted and consistent
+    // sanity: adjacency is sorted and duplicate-free (LabelMap keys are a set)
     let n0 = g.neighbors(0);
     assert!(n0.windows(2).all(|w| w[0] < w[1]), "neighbor lists are sorted");
     println!("neighbors(0) = {:?}...", &n0[..n0.len().min(8)]);

@@ -7,12 +7,15 @@
 //! (In a database, per-op element moves are response-time jitter: a single
 //! 10⁴-move rebalance is a latency spike that a tail-latency SLO notices.)
 //!
+//! The structures are built through [`ListBuilder::build_fixed`] — the
+//! type-erased fixed-capacity form — so one `run` function drives every
+//! backend without naming a concrete type.
+//!
 //! Run with: `cargo run --release --example latency_trace`
 
-use layered_list_labeling::core::traits::{LabelingBuilder, ListLabeling};
-use layered_list_labeling::deamortized::DeamortizedBuilder;
-use layered_list_labeling::embedding::corollary11;
-use layered_list_labeling::randomized::RandomizedBuilder;
+use layered_list_labeling::core::ops::Op;
+use layered_list_labeling::core::traits::ListLabeling;
+use layered_list_labeling::prelude::{Backend, ListBuilder};
 use layered_list_labeling::workloads::hammer_inserts;
 
 const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
@@ -33,7 +36,8 @@ fn sparkline(costs: &[u64], width: usize) -> String {
         .collect()
 }
 
-fn run<L: ListLabeling>(mut s: L, ops: &[layered_list_labeling::core::ops::Op]) -> Vec<u64> {
+fn run(backend: Backend, n: usize, ops: &[Op]) -> Vec<u64> {
+    let mut s: Box<dyn ListLabeling> = ListBuilder::new().backend(backend).seed(7).build_fixed(n);
     ops.iter().map(|&op| s.apply(op).cost()).collect()
 }
 
@@ -42,9 +46,9 @@ fn main() {
     let w = hammer_inserts(n, 0);
     println!("per-op move-count traces, hammer workload, n={n} (log scale, bin = max)\n");
 
-    let y = run(RandomizedBuilder::with_seed(7).build_default(n), &w.ops);
-    let z = run(DeamortizedBuilder::default().build_default(n), &w.ops);
-    let l = run(corollary11(n, 7), &w.ops);
+    let y = run(Backend::Randomized, n, &w.ops);
+    let z = run(Backend::Deamortized, n, &w.ops);
+    let l = run(Backend::Corollary11, n, &w.ops);
 
     let stats = |c: &[u64]| {
         let total: u64 = c.iter().sum();

@@ -2,89 +2,34 @@
 //! footnote 1: the structure assigns each element a label ℓ(x) ∈ {1..m}
 //! with x ≺ y ⟺ ℓ(x) < ℓ(y)).
 //!
-//! The application keeps a handle (`ElemId`) per inserted item and a
-//! label table maintained *incrementally from the move logs* — each
-//! operation's report lists exactly the elements whose labels changed, so
-//! `order(a, b)` is a constant-time label comparison and the total label
-//! maintenance work equals the structure's move cost (this is precisely
-//! why low-cost list labeling matters for order maintenance).
+//! [`OrderedList`] is the library's order-maintenance front-end: stable
+//! handles, handle-relative insertion, and O(1) `order(a, b)` via a label
+//! table maintained *incrementally from the move logs* — each operation's
+//! report lists exactly the elements whose labels changed, so the total
+//! label-maintenance work equals the structure's move cost. That is
+//! precisely why low-cost list labeling matters for order maintenance,
+//! and `total_moves()` surfaces the accounting.
 //!
 //! Run with: `cargo run --release --example order_maintenance`
 
-use layered_list_labeling::adaptive::AdaptiveBuilder;
-use layered_list_labeling::classic::ClassicBuilder;
-use layered_list_labeling::core::ids::ElemId;
-use layered_list_labeling::core::traits::{LabelingBuilder, ListLabeling};
-use layered_list_labeling::embedding::EmbedBuilder;
-use std::collections::HashMap;
-
-/// An order-maintenance list: insert-after, delete, and O(1) order queries.
-struct OrderList<L: ListLabeling> {
-    list: L,
-    label: HashMap<ElemId, u32>,
-    rank_of: HashMap<ElemId, usize>, // maintained lazily for inserts only
-}
-
-impl<L: ListLabeling> OrderList<L> {
-    fn new(list: L) -> Self {
-        Self { list, label: HashMap::new(), rank_of: HashMap::new() }
-    }
-
-    fn apply_report(&mut self, rep: &layered_list_labeling::core::report::OpReport) {
-        for mv in &rep.moves {
-            self.label.insert(mv.elem, mv.to);
-        }
-        if let Some((id, pos)) = rep.placed {
-            self.label.insert(id, pos);
-        }
-        if let Some((id, _)) = rep.removed {
-            self.label.remove(&id);
-        }
-    }
-
-    /// Current rank of a handle (O(log m) via its label).
-    fn rank(&self, x: ElemId) -> usize {
-        self.list.slots().rank_at(self.label[&x] as usize)
-    }
-
-    /// Insert a new element immediately after `after` (or first if None).
-    fn insert_after(&mut self, after: Option<ElemId>) -> ElemId {
-        let rank = match after {
-            None => 0,
-            Some(a) => self.rank(a) + 1,
-        };
-        let rep = self.list.insert(rank);
-        let id = rep.placed.expect("insert places").0;
-        self.apply_report(&rep);
-        self.rank_of.insert(id, rank);
-        id
-    }
-
-    /// Does `a` precede `b`? O(1): one label comparison.
-    fn precedes(&self, a: ElemId, b: ElemId) -> bool {
-        self.label[&a] < self.label[&b]
-    }
-
-    fn delete(&mut self, x: ElemId) {
-        let r = self.rank(x);
-        let rep = self.list.delete(r);
-        self.apply_report(&rep);
-    }
-}
+use layered_list_labeling::prelude::*;
 
 fn main() {
     let n = 2048;
-    // Order maintenance loves the embedding: bounded per-op cost means
-    // bounded label churn per operation.
-    let b = EmbedBuilder::new(AdaptiveBuilder::default(), ClassicBuilder);
-    let mut ol = OrderList::new(b.build_default(n));
+    // Order maintenance loves the layered structure: bounded per-op cost
+    // means bounded label churn per operation.
+    let mut ol: OrderedList<usize> =
+        ListBuilder::new().backend(Backend::Corollary11).seed(42).ordered_list();
 
     // Build a list by always inserting after a running cursor, then verify
     // order queries against ground truth.
     let mut handles = Vec::new();
-    let mut cursor = None;
-    for _ in 0..n / 2 {
-        let h = ol.insert_after(cursor);
+    let mut cursor: Option<Handle> = None;
+    for i in 0..n / 2 {
+        let h = match cursor {
+            None => ol.push_front(i),
+            Some(c) => ol.insert_after(c, i),
+        };
         handles.push(h);
         cursor = Some(h);
     }
@@ -104,18 +49,19 @@ fn main() {
 
     // interleave: insert new items in the middle, delete a few, re-verify
     let mid = handles[handles.len() / 2];
-    let a = ol.insert_after(Some(mid));
-    let b2 = ol.insert_after(Some(a));
-    assert!(ol.precedes(mid, a) && ol.precedes(a, b2));
-    assert!(ol.precedes(b2, handles[handles.len() / 2 + 1]));
-    ol.delete(a);
-    assert!(ol.precedes(mid, b2));
+    let a = ol.insert_after(mid, 9001);
+    let b = ol.insert_after(a, 9002);
+    assert!(ol.precedes(mid, a) && ol.precedes(a, b));
+    assert!(ol.precedes(b, handles[handles.len() / 2 + 1]));
+    assert_eq!(ol.remove(a), Some(9001));
+    assert!(ol.precedes(mid, b));
+    assert!(!ol.contains(a));
     println!("mid-list insertions and deletions keep order consistent ✓");
 
     // label churn accounting: the labels rewritten == the structure's moves
     println!(
         "total label rewrites == total element moves: {} (amortized {:.2}/op)",
-        ol.list.slots().lifetime_moves(),
-        ol.list.slots().lifetime_moves() as f64 / (n / 2) as f64
+        ol.total_moves(),
+        ol.total_moves() as f64 / (n / 2) as f64
     );
 }

@@ -1,17 +1,40 @@
-//! Quickstart: build Corollary 11's layered structure and watch it combine
-//! its three layers' strengths.
+//! Quickstart: the production API in one screen, then the paper-level
+//! instrumentation underneath it.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use layered_list_labeling::core::traits::ListLabeling;
 use layered_list_labeling::embedding::corollary11;
+use layered_list_labeling::prelude::*;
 
 fn main() {
+    // ── The production API ────────────────────────────────────────────
+    // A sorted map on Corollary 11's layered structure. No capacity to
+    // choose, no ranks to compute: keys in, sorted order out.
+    let mut scores: LabelMap<u64, &str> =
+        ListBuilder::new().backend(Backend::Corollary11).seed(42).label_map();
+    scores.insert(700, "carol");
+    scores.insert(300, "alice");
+    scores.insert(500, "bob");
+    assert_eq!(scores.get(&500), Some(&"bob"));
+    let podium: Vec<&str> = scores.range(300..=700).map(|(_, v)| *v).collect();
+    println!("sorted by score: {podium:?}");
+
+    // Order maintenance: stable handles, O(1) order queries.
+    let mut tasks = OrderedList::new();
+    let deploy = tasks.push_back("deploy");
+    let build = tasks.insert_before(deploy, "build");
+    let test = tasks.insert_after(build, "test");
+    assert!(tasks.precedes(build, test) && tasks.precedes(test, deploy));
+    println!("pipeline order: {:?}", tasks.values().collect::<Vec<_>>());
+
+    // ── The paper-level view ──────────────────────────────────────────
+    // X ⊳ (Y ⊳ Z): adaptive ⊳ (randomized ⊳ deamortized), all tapes
+    // seeded, fixed capacity, raw move logs.
     let n = 4096;
-    // X ⊳ (Y ⊳ Z): adaptive ⊳ (randomized ⊳ deamortized), all tapes seeded.
     let mut list = corollary11(n, 42);
     println!(
-        "layered list-labeling structure: capacity {} over {} slots",
+        "\nlayered list-labeling structure: capacity {} over {} slots",
         list.capacity(),
         list.num_slots()
     );

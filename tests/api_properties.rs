@@ -1,0 +1,206 @@
+//! Property tests for the production API (`lll-api`).
+//!
+//! * [`LabelMap`] is differentially checked against `std::collections::BTreeMap`
+//!   under random insert/remove/get/range workloads — once per [`Backend`],
+//!   so every algorithm in the workspace serves the same map semantics.
+//! * [`OrderedList`] is checked against a reference `Vec` under rank-based
+//!   churn (reusing the workspace's workload generators), across growth and
+//!   shrink rebuilds, with its label table audited after every phase.
+
+use layered_list_labeling::core::ops::Op;
+use layered_list_labeling::prelude::*;
+use layered_list_labeling::workloads::{uniform_churn, uniform_random_inserts};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// One differential step: same command stream against [`LabelMap`] and the
+/// standard-library model, with equality asserted after every command.
+fn check_map_against_btreemap(backend: Backend, cmds: &[(u8, u16, u32)]) {
+    let mut map: LabelMap<u16, u32> = ListBuilder::new().backend(backend).seed(0xD1FF).label_map();
+    let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+    for &(sel, key, val) in cmds {
+        let key = key % 512; // densify the key space so removes and hits land
+        match sel % 5 {
+            0 | 1 => {
+                assert_eq!(
+                    map.insert(key, val),
+                    model.insert(key, val),
+                    "[{}] insert({key}) diverged",
+                    backend.name()
+                );
+            }
+            2 => {
+                assert_eq!(
+                    map.remove(&key),
+                    model.remove(&key),
+                    "[{}] remove({key}) diverged",
+                    backend.name()
+                );
+            }
+            3 => {
+                assert_eq!(
+                    map.get(&key),
+                    model.get(&key),
+                    "[{}] get({key}) diverged",
+                    backend.name()
+                );
+            }
+            _ => {
+                let hi = key.saturating_add(64);
+                let got: Vec<(u16, u32)> = map.range(key..hi).map(|(k, v)| (*k, *v)).collect();
+                let want: Vec<(u16, u32)> = model.range(key..hi).map(|(k, v)| (*k, *v)).collect();
+                assert_eq!(got, want, "[{}] range({key}..{hi}) diverged", backend.name());
+            }
+        }
+        assert_eq!(map.len(), model.len(), "[{}] len diverged", backend.name());
+    }
+    // Final full-structure agreement.
+    let got: Vec<(u16, u32)> = map.iter().map(|(k, v)| (*k, *v)).collect();
+    let want: Vec<(u16, u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+    assert_eq!(got, want, "[{}] final iteration diverged", backend.name());
+    assert_eq!(map.first_key_value(), model.first_key_value());
+    assert_eq!(map.last_key_value(), model.last_key_value());
+    for key in (0u16..512).step_by(41) {
+        assert_eq!(map.contains_key(&key), model.contains_key(&key));
+    }
+}
+
+/// Strategy: an arbitrary command stream (selector, key, value).
+fn cmd_seq(len: usize) -> impl Strategy<Value = Vec<(u8, u16, u32)>> {
+    proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u32>()), 1..len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn label_map_matches_btreemap_classic(cmds in cmd_seq(500)) {
+        check_map_against_btreemap(Backend::Classic, &cmds);
+    }
+
+    #[test]
+    fn label_map_matches_btreemap_deamortized(cmds in cmd_seq(500)) {
+        check_map_against_btreemap(Backend::Deamortized, &cmds);
+    }
+
+    #[test]
+    fn label_map_matches_btreemap_randomized(cmds in cmd_seq(500)) {
+        check_map_against_btreemap(Backend::Randomized, &cmds);
+    }
+
+    #[test]
+    fn label_map_matches_btreemap_adaptive(cmds in cmd_seq(500)) {
+        check_map_against_btreemap(Backend::Adaptive, &cmds);
+    }
+
+    #[test]
+    fn label_map_matches_btreemap_corollary11(cmds in cmd_seq(400)) {
+        check_map_against_btreemap(Backend::Corollary11, &cmds);
+    }
+
+    #[test]
+    fn label_map_matches_btreemap_corollary12(cmds in cmd_seq(400)) {
+        check_map_against_btreemap(Backend::Corollary12, &cmds);
+    }
+}
+
+/// Drive an [`OrderedList`] with rank-based ops against a reference `Vec`,
+/// verifying handle/value agreement and O(1) order queries throughout.
+fn check_ordered_list(backend: Backend, ops: &[Op]) {
+    let mut ol: OrderedList<u64> =
+        ListBuilder::new().backend(backend).seed(0x01D).initial_capacity(16).ordered_list();
+    let mut reference: Vec<(Handle, u64)> = Vec::new();
+    let mut next_val = 0u64;
+    for (i, &op) in ops.iter().enumerate() {
+        match op {
+            Op::Insert(r) => {
+                let h = ol.insert_at(r, next_val);
+                reference.insert(r, (h, next_val));
+                next_val += 1;
+            }
+            Op::Delete(r) => {
+                let (h, v) = reference.remove(r);
+                assert_eq!(ol.remove(h), Some(v), "[{}] remove diverged", backend.name());
+            }
+        }
+        assert_eq!(ol.len(), reference.len());
+        // Periodic order-query audit on sampled pairs.
+        if i % 97 == 0 && reference.len() >= 2 {
+            let k = reference.len();
+            for (a, b) in [(0, k / 2), (k / 2, k - 1), (0, k - 1), (k / 3, 2 * k / 3)] {
+                if a != b {
+                    assert_eq!(
+                        ol.precedes(reference[a].0, reference[b].0),
+                        a < b,
+                        "[{}] order query diverged at ops[{i}]",
+                        backend.name()
+                    );
+                }
+            }
+            assert_eq!(ol.rank(reference[k / 2].0), Some(k / 2));
+        }
+    }
+    ol.check_labels();
+    let got: Vec<(Handle, u64)> = ol.iter().map(|(h, v)| (h, *v)).collect();
+    assert_eq!(got, reference, "[{}] final order diverged", backend.name());
+}
+
+/// A deterministic grow-then-shrink-then-churn sequence: forces several
+/// growth rebuilds, several shrink rebuilds, and steady-state churn.
+fn grow_shrink_ops(n: usize, seed: u64) -> Vec<Op> {
+    let mut ops = uniform_random_inserts(n, seed).ops;
+    ops.extend(vec![Op::Delete(0); n - n / 8]); // shrink to an eighth
+    ops.extend(uniform_churn(n / 8, n / 4, seed ^ 1).ops.into_iter().skip(n / 8));
+    ops
+}
+
+#[test]
+fn ordered_list_survives_grow_shrink_churn_on_every_backend() {
+    for backend in Backend::ALL {
+        check_ordered_list(backend, &grow_shrink_ops(600, 0xB0B + backend as u64));
+    }
+}
+
+#[test]
+fn ordered_list_rebuilds_actually_happened() {
+    // The previous test is only meaningful if the workload really crosses
+    // capacity boundaries both ways; pin that here.
+    let mut ol: OrderedList<u64> =
+        ListBuilder::new().backend(Backend::Classic).initial_capacity(16).ordered_list();
+    let mut handles = Vec::new();
+    for i in 0..600 {
+        handles.push(ol.insert_at(i, i as u64));
+    }
+    for _ in 0..560 {
+        let h = handles.remove(0);
+        ol.remove(h);
+    }
+    let stats = ol.grow_stats();
+    assert!(stats.grows >= 3, "expected several growth rebuilds, got {}", stats.grows);
+    assert!(stats.shrinks >= 2, "expected several shrink rebuilds, got {}", stats.shrinks);
+    ol.check_labels();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// Arbitrary valid op sequences (decoded against the running length so
+    /// every sequence is valid by construction) on the default backend.
+    #[test]
+    fn ordered_list_matches_reference_on_arbitrary_ops(
+        raw in proptest::collection::vec((any::<u8>(), any::<u32>()), 1..800)
+    ) {
+        let mut ops = Vec::with_capacity(raw.len());
+        let mut len = 0usize;
+        for (b, r) in raw {
+            if len == 0 || b % 5 < 3 {
+                ops.push(Op::Insert(r as usize % (len + 1)));
+                len += 1;
+            } else {
+                ops.push(Op::Delete(r as usize % len));
+                len -= 1;
+            }
+        }
+        check_ordered_list(Backend::Corollary11, &ops);
+    }
+}

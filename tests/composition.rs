@@ -62,10 +62,7 @@ fn corollary11_worst_case_tracks_z_not_y() {
         max_z = max_z.max(z.apply(op).cost());
         max_l = max_l.max(l.apply(op).cost());
     }
-    assert!(
-        max_l < max_y / 2,
-        "layered max {max_l} should be far below Y's spike {max_y}"
-    );
+    assert!(max_l < max_y / 2, "layered max {max_l} should be far below Y's spike {max_y}");
     assert!(
         max_l < 8 * max_z,
         "layered max {max_l} should be within a constant of Z's cap {max_z}"
