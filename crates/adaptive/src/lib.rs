@@ -1,7 +1,7 @@
 //! # lll-adaptive — the adaptive packed-memory array (APMA)
 //!
 //! Bender & Hu, *An adaptive packed-memory array* (TODS 2007) — reference
-//! [18] of the layered-list-labeling paper, and the `X` of its Corollary 11.
+//! \[18\] of the layered-list-labeling paper, and the `X` of its Corollary 11.
 //!
 //! The classical PMA spreads elements **evenly** when it rebalances, which
 //! is provably wasteful on skewed insertion patterns: a *hammer-insert*

@@ -17,7 +17,7 @@ use lll_adaptive::AdaptiveBuilder;
 use lll_classic::ClassicBuilder;
 use lll_core::growable::{Growable, GrowableStats, Handle};
 use lll_core::ids::ElemId;
-use lll_core::report::OpReport;
+use lll_core::report::{BulkReport, OpReport};
 use lll_core::rng::derive_seed;
 use lll_core::traits::{LabelingBuilder, ListLabeling};
 use lll_deamortized::DeamortizedBuilder;
@@ -54,6 +54,29 @@ pub trait RawList {
     /// Delete at `rank`, returning the removed element's handle and the
     /// operation's move log (same epoch caveat for shrink rebuilds).
     fn delete_reported(&mut self, rank: usize) -> (Handle, OpReport);
+
+    /// Batch-insert `count` new elements at consecutive final ranks
+    /// `rank .. rank + count` as one logical operation — the bulk-ingest
+    /// path ([`Growable::splice_at`]). Returns the new handles in rank
+    /// order and one move log for the whole batch; if the batch forced a
+    /// growth rebuild the log is empty and the epoch bumps once instead.
+    fn splice_reported(&mut self, rank: usize, count: usize) -> (Vec<Handle>, BulkReport);
+
+    /// The label of the first element, if any.
+    fn first_label(&self) -> Option<usize>;
+
+    /// The label of the last element, if any.
+    fn last_label(&self) -> Option<usize>;
+
+    /// The label of the next element strictly after `label` — one
+    /// occupancy query, no rank resolution (the cursor walking primitive).
+    fn next_label_after(&self, label: usize) -> Option<usize>;
+
+    /// The label of the previous element strictly before `label`.
+    fn prev_label_before(&self, label: usize) -> Option<usize>;
+
+    /// The handle of the element stored at `label` (`None` on a free slot).
+    fn handle_at_label(&self, label: usize) -> Option<Handle>;
 
     /// The handle of the element of `rank`.
     fn handle_at_rank(&self, rank: usize) -> Handle;
@@ -101,6 +124,30 @@ impl<B: LabelingBuilder> RawList for Growable<B> {
 
     fn delete_reported(&mut self, rank: usize) -> (Handle, OpReport) {
         Growable::delete_reported(self, rank)
+    }
+
+    fn splice_reported(&mut self, rank: usize, count: usize) -> (Vec<Handle>, BulkReport) {
+        Growable::splice_at(self, rank, count)
+    }
+
+    fn first_label(&self) -> Option<usize> {
+        Growable::first_label(self)
+    }
+
+    fn last_label(&self) -> Option<usize> {
+        Growable::last_label(self)
+    }
+
+    fn next_label_after(&self, label: usize) -> Option<usize> {
+        Growable::next_label_after(self, label)
+    }
+
+    fn prev_label_before(&self, label: usize) -> Option<usize> {
+        Growable::prev_label_before(self, label)
+    }
+
+    fn handle_at_label(&self, label: usize) -> Option<Handle> {
+        Growable::handle_at_label(self, label)
     }
 
     fn handle_at_rank(&self, rank: usize) -> Handle {
@@ -356,6 +403,30 @@ impl RawList for ErasedList {
 
     fn delete_reported(&mut self, rank: usize) -> (Handle, OpReport) {
         self.inner.delete_reported(rank)
+    }
+
+    fn splice_reported(&mut self, rank: usize, count: usize) -> (Vec<Handle>, BulkReport) {
+        self.inner.splice_reported(rank, count)
+    }
+
+    fn first_label(&self) -> Option<usize> {
+        self.inner.first_label()
+    }
+
+    fn last_label(&self) -> Option<usize> {
+        self.inner.last_label()
+    }
+
+    fn next_label_after(&self, label: usize) -> Option<usize> {
+        self.inner.next_label_after(label)
+    }
+
+    fn prev_label_before(&self, label: usize) -> Option<usize> {
+        self.inner.prev_label_before(label)
+    }
+
+    fn handle_at_label(&self, label: usize) -> Option<Handle> {
+        self.inner.handle_at_label(label)
     }
 
     fn handle_at_rank(&self, rank: usize) -> Handle {

@@ -10,8 +10,11 @@
 //! ranks, which the backend lays out left-to-right in memory.
 
 use crate::backend::{ErasedList, ListBuilder, RawList};
+use crate::cursor::MapCursor;
 use lll_core::growable::Handle;
+use std::borrow::Borrow;
 use std::collections::HashMap;
+use std::fmt;
 use std::ops::{Bound, RangeBounds};
 
 /// A dynamically sized sorted map with `BTreeMap`-shaped point operations
@@ -39,6 +42,30 @@ impl<K: Ord, V> LabelMap<K, V> {
     /// An empty map on the default backend (Corollary 11, erased).
     pub fn new() -> Self {
         ListBuilder::new().label_map()
+    }
+
+    /// Build a map from entries **already sorted ascending by key** in one
+    /// bulk load: the whole run lands in the backend as a single
+    /// evenly-spread sweep (one rebuild epoch, ~one move per element)
+    /// instead of `n` point insertions through the doubling cascade —
+    /// O(n) ingest instead of O(n · polylog n).
+    ///
+    /// Equal adjacent keys collapse to the last occurrence (the
+    /// `BTreeMap`-shaped "last write wins"). Panics if a key is smaller
+    /// than its predecessor; use `collect()` for unordered input, which
+    /// detects sortedness and falls back to point insertion when absent.
+    ///
+    /// ```
+    /// use lll_api::LabelMap;
+    ///
+    /// let map = LabelMap::from_sorted_iter((0..1000).map(|k| (k, k * 2)));
+    /// assert_eq!(map.len(), 1000);
+    /// assert_eq!(map.get(&720), Some(&1440));
+    /// ```
+    pub fn from_sorted_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut map = Self::new();
+        map.extend_sorted(iter.into_iter().collect());
+        map
     }
 }
 
@@ -88,19 +115,40 @@ impl<K: Ord, V, L: RawList> LabelMap<K, V, L> {
         &self.entry[&self.list.handle_at_rank(rank)]
     }
 
+    pub(crate) fn pair_of(&self, h: Handle) -> &(K, V) {
+        &self.entry[&h]
+    }
+
+    /// Read-only access to the underlying backend (cost counters, labels,
+    /// slot-array introspection).
+    pub fn backend(&self) -> &L {
+        &self.list
+    }
+
     /// The key of rank `rank` (0-based, sorted order).
     ///
-    /// Panics if `rank >= len`.
+    /// **Panics** if `rank >= len`; [`get_key_at_rank`](Self::get_key_at_rank)
+    /// is the checked variant.
     pub fn key_at_rank(&self, rank: usize) -> &K {
         &self.pair_at_rank(rank).0
     }
 
+    /// The key of rank `rank`, or `None` if `rank >= len` — the checked
+    /// form of [`key_at_rank`](Self::key_at_rank).
+    pub fn get_key_at_rank(&self, rank: usize) -> Option<&K> {
+        (rank < self.len()).then(|| self.key_at_rank(rank))
+    }
+
     /// The rank of the first key ≥ `key` (== `len` if no such key).
-    pub fn lower_bound(&self, key: &K) -> usize {
+    pub fn lower_bound<Q>(&self, key: &Q) -> usize
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
         let (mut lo, mut hi) = (0usize, self.len());
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
-            if self.key_at_rank(mid) < key {
+            if self.key_at_rank(mid).borrow() < key {
                 lo = mid + 1;
             } else {
                 hi = mid;
@@ -110,11 +158,15 @@ impl<K: Ord, V, L: RawList> LabelMap<K, V, L> {
     }
 
     /// The rank of the first key > `key` (== `len` if no such key).
-    pub fn upper_bound(&self, key: &K) -> usize {
+    pub fn upper_bound<Q>(&self, key: &Q) -> usize
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
         let (mut lo, mut hi) = (0usize, self.len());
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
-            if self.key_at_rank(mid) <= key {
+            if self.key_at_rank(mid).borrow() <= key {
                 lo = mid + 1;
             } else {
                 hi = mid;
@@ -126,9 +178,13 @@ impl<K: Ord, V, L: RawList> LabelMap<K, V, L> {
     /// The rank of `key` if present. Like `BTreeMap`, equality is judged
     /// by `Ord::cmp` alone (never `PartialEq`), so keys whose `Eq`
     /// disagrees with their ordering still behave consistently.
-    fn rank_of_key(&self, key: &K) -> Option<usize> {
+    fn rank_of_key<Q>(&self, key: &Q) -> Option<usize>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
         let r = self.lower_bound(key);
-        (r < self.len() && self.key_at_rank(r).cmp(key).is_eq()).then_some(r)
+        (r < self.len() && self.key_at_rank(r).borrow().cmp(key).is_eq()).then_some(r)
     }
 
     /// Insert `key → value`. Returns the previous value if the key was
@@ -146,25 +202,51 @@ impl<K: Ord, V, L: RawList> LabelMap<K, V, L> {
         None
     }
 
-    /// The value of `key`.
-    pub fn get(&self, key: &K) -> Option<&V> {
+    /// The value of `key`. Accepts any borrowed form of the key type
+    /// (`&str` for `String` keys, like `BTreeMap`).
+    ///
+    /// ```
+    /// use lll_api::LabelMap;
+    ///
+    /// let mut map: LabelMap<String, u32> = LabelMap::new();
+    /// map.insert("ten".to_string(), 10);
+    /// assert_eq!(map.get("ten"), Some(&10));
+    /// assert!(map.contains_key("ten"));
+    /// ```
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
         self.rank_of_key(key).map(|r| &self.pair_at_rank(r).1)
     }
 
     /// Mutable access to the value of `key`.
-    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+    pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
         let r = self.rank_of_key(key)?;
         let h = self.list.handle_at_rank(r);
         self.entry.get_mut(&h).map(|(_, v)| v)
     }
 
     /// True if `key` is present.
-    pub fn contains_key(&self, key: &K) -> bool {
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
         self.rank_of_key(key).is_some()
     }
 
     /// Remove `key`, returning its value.
-    pub fn remove(&mut self, key: &K) -> Option<V> {
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
         let rank = self.rank_of_key(key)?;
         let (h, _) = self.list.delete_reported(rank);
         self.entry.remove(&h).map(|(_, v)| v)
@@ -187,11 +269,17 @@ impl<K: Ord, V, L: RawList> LabelMap<K, V, L> {
     }
 
     /// Iterate the entries with keys in `range`, in ascending key order —
-    /// physically, a left-to-right sweep of the backend's slot array.
+    /// physically, a left-to-right sweep of the backend's slot array. The
+    /// bounds accept any borrowed form of the key type.
     ///
     /// Unlike `BTreeMap::range`, an inverted range (start > end) yields an
     /// empty iterator instead of panicking.
-    pub fn range<R: RangeBounds<K>>(&self, range: R) -> Range<'_, K, V, L> {
+    pub fn range<Q, R>(&self, range: R) -> Range<'_, K, V, L>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+        R: RangeBounds<Q>,
+    {
         let start = match range.start_bound() {
             Bound::Included(k) => self.lower_bound(k),
             Bound::Excluded(k) => self.upper_bound(k),
@@ -205,9 +293,13 @@ impl<K: Ord, V, L: RawList> LabelMap<K, V, L> {
         Range { map: self, next: start, end: end.max(start) }
     }
 
-    /// Iterate all entries in ascending key order.
-    pub fn iter(&self) -> Range<'_, K, V, L> {
-        self.range(..)
+    /// Iterate all entries in ascending key order — one snapshot sweep of
+    /// the backend's slot array, with no per-step rank resolution (unlike
+    /// [`range`](Self::range), which resolves ranks lazily so it can stay
+    /// cheap on small sub-ranges).
+    pub fn iter(&self) -> Iter<'_, K, V, L> {
+        let order: Vec<Handle> = self.list.labels_snapshot().iter().map(|&(h, _)| h).collect();
+        Iter { map: self, order: order.into_iter() }
     }
 
     /// Iterate keys in ascending order.
@@ -219,21 +311,187 @@ impl<K: Ord, V, L: RawList> LabelMap<K, V, L> {
     pub fn values(&self) -> impl Iterator<Item = &V> + '_ {
         self.iter().map(|(_, v)| v)
     }
+
+    /// A read-only cursor parked on the smallest entry (or exhausted if the
+    /// map is empty). Cursors step through the backend's occupancy
+    /// structure label-to-label — no per-step rank→label resolution.
+    pub fn cursor_front(&self) -> MapCursor<'_, K, V, L> {
+        MapCursor::new(self, self.list.first_label())
+    }
+
+    /// A read-only cursor parked on the largest entry.
+    pub fn cursor_back(&self) -> MapCursor<'_, K, V, L> {
+        MapCursor::new(self, self.list.last_label())
+    }
+
+    /// A read-only cursor parked on the first entry with key ≥ `key`
+    /// (exhausted if every key is smaller). One rank→label resolution at
+    /// creation; stepping is label-native from there.
+    pub fn cursor_at<Q>(&self, key: &Q) -> MapCursor<'_, K, V, L>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let rank = self.lower_bound(key);
+        let label = (rank < self.len()).then(|| self.list.label_of_rank(rank));
+        MapCursor::new(self, label)
+    }
+
+    /// Merge a batch of entries **sorted ascending by key** in bulk: runs of
+    /// new keys that land in the same gap between existing keys become one
+    /// backend splice (one evenly-spread sweep) instead of per-key
+    /// insertions. Keys equal to existing ones replace the value in place;
+    /// equal adjacent batch keys collapse to the last occurrence.
+    ///
+    /// This is the engine under [`from_sorted_iter`](LabelMap::from_sorted_iter)
+    /// and sorted [`extend`](Extend::extend); call it directly when you
+    /// already hold a sorted `Vec`. Panics if the batch is not ascending.
+    pub fn extend_sorted(&mut self, mut batch: Vec<(K, V)>) {
+        assert!(
+            batch.windows(2).all(|w| w[0].0.cmp(&w[1].0).is_le()),
+            "extend_sorted requires keys in ascending order"
+        );
+        // Last write wins among equal batch keys, as with sequential inserts.
+        batch.dedup_by(|next, kept| {
+            if next.0.cmp(&kept.0).is_eq() {
+                std::mem::swap(next, kept);
+                true
+            } else {
+                false
+            }
+        });
+        let mut pending: Vec<(K, V)> = Vec::new();
+        let mut pending_rank = 0usize;
+        for (k, v) in batch {
+            if !pending.is_empty() {
+                // Still strictly below the successor of the open gap?
+                let continues =
+                    pending_rank >= self.len() || k.cmp(self.key_at_rank(pending_rank)).is_lt();
+                if continues {
+                    pending.push((k, v));
+                    continue;
+                }
+                self.splice_pending(pending_rank, &mut pending);
+            }
+            let rank = self.lower_bound(&k);
+            if rank < self.len() && self.key_at_rank(rank).cmp(&k).is_eq() {
+                // Existing key: replace the value, keep position and handle.
+                let h = self.list.handle_at_rank(rank);
+                self.entry.get_mut(&h).expect("entry for live handle").1 = v;
+            } else {
+                pending_rank = rank;
+                pending.push((k, v));
+            }
+        }
+        if !pending.is_empty() {
+            self.splice_pending(pending_rank, &mut pending);
+        }
+    }
+
+    /// Land an accumulated run of brand-new keys as one backend splice.
+    fn splice_pending(&mut self, rank: usize, run: &mut Vec<(K, V)>) {
+        let (handles, _) = self.list.splice_reported(rank, run.len());
+        debug_assert_eq!(handles.len(), run.len());
+        for (h, kv) in handles.into_iter().zip(run.drain(..)) {
+            self.entry.insert(h, kv);
+        }
+    }
 }
 
 impl<K: Ord, V, L: RawList> Extend<(K, V)> for LabelMap<K, V, L> {
+    /// Bulk-aware extension: the input is buffered, and if it arrives
+    /// sorted ascending by key it is merged via the O(n) bulk path
+    /// ([`extend_sorted`](LabelMap::extend_sorted)); unsorted input falls
+    /// back to per-key insertion.
     fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
-        for (k, v) in iter {
-            self.insert(k, v);
+        let batch: Vec<(K, V)> = iter.into_iter().collect();
+        if batch.windows(2).all(|w| w[0].0.cmp(&w[1].0).is_le()) {
+            self.extend_sorted(batch);
+        } else {
+            for (k, v) in batch {
+                self.insert(k, v);
+            }
         }
     }
 }
 
 impl<K: Ord, V> FromIterator<(K, V)> for LabelMap<K, V> {
+    /// Collects through the bulk-load path when the input is sorted (see
+    /// [`Extend::extend`]).
     fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
         let mut map = Self::new();
         map.extend(iter);
         map
+    }
+}
+
+impl<'a, K: Ord, V, L: RawList> IntoIterator for &'a LabelMap<K, V, L> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = Iter<'a, K, V, L>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over all entries of a [`LabelMap`] in ascending key order (see
+/// [`LabelMap::iter`]).
+pub struct Iter<'a, K: Ord, V, L: RawList> {
+    map: &'a LabelMap<K, V, L>,
+    order: std::vec::IntoIter<Handle>,
+}
+
+impl<'a, K: Ord, V, L: RawList> Iterator for Iter<'a, K, V, L> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let h = self.order.next()?;
+        let (k, v) = self.map.pair_of(h);
+        Some((k, v))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.order.size_hint()
+    }
+}
+
+impl<K: Ord, V, L: RawList> ExactSizeIterator for Iter<'_, K, V, L> {}
+
+impl<K: Ord, V, L: RawList> IntoIterator for LabelMap<K, V, L> {
+    type Item = (K, V);
+    type IntoIter = IntoIter<K, V>;
+
+    /// Consume the map, yielding owned entries in ascending key order.
+    fn into_iter(self) -> Self::IntoIter {
+        let order: Vec<Handle> = self.list.labels_snapshot().iter().map(|&(h, _)| h).collect();
+        IntoIter { order: order.into_iter(), entry: self.entry }
+    }
+}
+
+/// Owning iterator over a [`LabelMap`]'s entries in ascending key order.
+pub struct IntoIter<K, V> {
+    order: std::vec::IntoIter<Handle>,
+    entry: HashMap<Handle, (K, V)>,
+}
+
+impl<K, V> Iterator for IntoIter<K, V> {
+    type Item = (K, V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let h = self.order.next()?;
+        self.entry.remove(&h)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.order.size_hint()
+    }
+}
+
+impl<K, V> ExactSizeIterator for IntoIter<K, V> {}
+
+impl<K: Ord + fmt::Debug, V: fmt::Debug, L: RawList> fmt::Debug for LabelMap<K, V, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
     }
 }
 
@@ -342,5 +600,138 @@ mod tests {
         let map: LabelMap<i32, i32> = (0..50).map(|k| (k, -k)).collect();
         assert_eq!(map.len(), 50);
         assert_eq!(map.get(&30), Some(&-30));
+        // Unsorted input still collects correctly (per-key fallback).
+        let map: LabelMap<i32, i32> = (0..50).rev().map(|k| (k, -k)).collect();
+        assert_eq!(map.len(), 50);
+        assert_eq!(map.get(&30), Some(&-30));
+    }
+
+    #[test]
+    fn borrowed_key_lookups() {
+        let mut map: LabelMap<String, u32> = LabelMap::new();
+        for (i, name) in ["ash", "beech", "cedar", "elm", "oak"].iter().enumerate() {
+            map.insert(name.to_string(), i as u32);
+        }
+        assert_eq!(map.get("cedar"), Some(&2));
+        assert!(map.contains_key("oak"));
+        assert!(!map.contains_key("yew"));
+        *map.get_mut("elm").unwrap() += 10;
+        assert_eq!(map.get("elm"), Some(&13));
+        assert_eq!(map.lower_bound("c"), 2);
+        assert_eq!(map.upper_bound("cedar"), 3);
+        // Unsized-key ranges take the tuple-of-bounds form, as with BTreeMap.
+        let bounds = (Bound::Included("beech"), Bound::Excluded("oak"));
+        let mid: Vec<&str> = map.range::<str, _>(bounds).map(|(k, _)| k.as_str()).collect();
+        assert_eq!(mid, ["beech", "cedar", "elm"]);
+        assert_eq!(map.remove("ash"), Some(0));
+        assert_eq!(map.remove("ash"), None);
+        assert_eq!(map.len(), 4);
+    }
+
+    #[test]
+    fn from_sorted_iter_matches_btreemap_with_fewer_moves() {
+        let n = 3000u32;
+        let bulk: LabelMap<u32, u32> = LabelMap::from_sorted_iter((0..n).map(|k| (k, k * 7)));
+        let mut inc: LabelMap<u32, u32> = LabelMap::new();
+        let mut model = BTreeMap::new();
+        for k in 0..n {
+            inc.insert(k, k * 7);
+            model.insert(k, k * 7);
+        }
+        assert_eq!(bulk.len(), model.len());
+        assert!(bulk.iter().map(|(k, v)| (*k, *v)).eq(model.iter().map(|(k, v)| (*k, *v))));
+        assert!(
+            bulk.total_moves() < inc.total_moves(),
+            "bulk {} !< incremental {}",
+            bulk.total_moves(),
+            inc.total_moves()
+        );
+    }
+
+    #[test]
+    fn from_sorted_iter_duplicates_last_write_wins() {
+        let map = LabelMap::from_sorted_iter([(1, "a"), (1, "b"), (2, "c"), (2, "d"), (2, "e")]);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.get(&1), Some(&"b"));
+        assert_eq!(map.get(&2), Some(&"e"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn from_sorted_iter_rejects_descending_input() {
+        let _ = LabelMap::from_sorted_iter([(3, ()), (1, ())]);
+    }
+
+    #[test]
+    fn extend_sorted_merges_into_existing_map() {
+        let mut map: LabelMap<u32, &str> = LabelMap::new();
+        let mut model = BTreeMap::new();
+        for k in (0..400).step_by(4) {
+            map.insert(k, "old");
+            model.insert(k, "old");
+        }
+        // Sorted batch: interleaving new keys, existing keys (replaced),
+        // head and tail extensions.
+        let batch: Vec<(u32, &str)> = (0..500).filter(|k| k % 3 == 0).map(|k| (k, "new")).collect();
+        map.extend(batch.clone());
+        model.extend(batch);
+        assert_eq!(map.len(), model.len());
+        assert!(map.iter().map(|(k, v)| (*k, *v)).eq(model.iter().map(|(k, v)| (*k, *v))));
+    }
+
+    #[test]
+    fn checked_rank_accessor() {
+        let map = LabelMap::from_sorted_iter((0..5).map(|k| (k, ())));
+        assert_eq!(map.get_key_at_rank(0), Some(&0));
+        assert_eq!(map.get_key_at_rank(4), Some(&4));
+        assert_eq!(map.get_key_at_rank(5), None);
+        let empty: LabelMap<u8, ()> = LabelMap::new();
+        assert_eq!(empty.get_key_at_rank(0), None);
+    }
+
+    #[test]
+    fn owned_iteration_and_debug() {
+        let map = LabelMap::from_sorted_iter((0..10).map(|k| (k, k * k)));
+        assert_eq!(
+            format!("{:?}", map.range(0..3).collect::<Vec<_>>()),
+            "[(0, 0), (1, 1), (2, 4)]"
+        );
+        let dbg = format!("{map:?}");
+        assert!(dbg.starts_with('{') && dbg.contains("3: 9"), "unexpected Debug: {dbg}");
+        let by_ref: Vec<(i32, i32)> = (&map).into_iter().map(|(k, v)| (*k, *v)).collect();
+        let owned: Vec<(i32, i32)> = map.into_iter().collect();
+        assert_eq!(owned, by_ref);
+        assert_eq!(owned.len(), 10);
+        assert!(owned.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn map_cursor_walks_and_seeks() {
+        let map = LabelMap::from_sorted_iter((0..300).filter(|k| k % 3 == 0).map(|k| (k, k + 1)));
+        // Full forward walk == iter().
+        let mut cur = map.cursor_front();
+        let mut walked = Vec::new();
+        while let Some((k, v)) = cur.entry() {
+            walked.push((*k, *v));
+            cur.move_next();
+        }
+        assert!(walked.iter().copied().eq(map.iter().map(|(k, v)| (*k, *v))));
+        // Walking off the back is recoverable.
+        assert!(cur.move_next().is_none());
+        assert_eq!(cur.move_prev(), Some((&297, &298)));
+        // Seek lands on the lower bound.
+        assert_eq!(map.cursor_at(&100).key(), Some(&102));
+        assert_eq!(map.cursor_at(&102).key(), Some(&102));
+        assert!(map.cursor_at(&298).entry().is_none());
+        assert_eq!(map.cursor_back().key(), Some(&297));
+        // Backward walk mirrors forward.
+        let mut cur = map.cursor_back();
+        let mut rev = Vec::new();
+        while let Some((k, v)) = cur.entry() {
+            rev.push((*k, *v));
+            cur.move_prev();
+        }
+        rev.reverse();
+        assert_eq!(rev, walked);
     }
 }

@@ -1,18 +1,28 @@
 //! # lll-api — the production-facing API of layered list labeling
 //!
 //! The algorithms in this workspace speak the paper's language: fixed
-//! capacity, `insert(rank)`, raw [`OpReport`](lll_core::report::OpReport)
-//! move logs. Applications speak a different one — keys, stable
-//! references, maps that grow. This crate is the translation layer:
+//! capacity, `insert(rank)`, raw [`OpReport`] move logs. Applications
+//! speak a different one — keys, stable references, maps that grow, and
+//! **batches**: real ingest arrives as sorted runs, and real scans walk
+//! neighbors, not random ranks. This crate is the translation layer:
 //!
 //! * [`OrderedList<V>`](OrderedList) — order maintenance (Dietz '82, the
 //!   paper's footnote 1): stable handles, `push_front` / `push_back` /
-//!   `insert_after` / `insert_before`, and O(1) `order(a, b)` via a label
-//!   table maintained incrementally from the backends' move logs.
+//!   `insert_after` / `insert_before`, O(1) `order(a, b)` via a label
+//!   table maintained incrementally from the backends' move logs, and
+//!   batch mutation (`extend_back` / `splice_at` / `splice_after`) that
+//!   lands a whole run as one backend sweep.
 //! * [`LabelMap<K, V>`](LabelMap) — a keyed sorted map (`insert` / `get` /
-//!   `remove` / `range` / `iter`) that keeps keys physically sorted in one
-//!   slot array, so range scans are contiguous memory sweeps — the
-//!   database-index motivation the paper opens with.
+//!   `remove` / `range` / `iter`, with `BTreeMap`-style borrowed-key
+//!   lookups) that keeps keys physically sorted in one slot array, so
+//!   range scans are contiguous memory sweeps. Sorted ingest takes the
+//!   O(n) bulk path: [`LabelMap::from_sorted_iter`] and sorted
+//!   [`extend`](Extend::extend) merge runs in evenly-spread sweeps instead
+//!   of point insertions.
+//! * [`Cursor`] / [`CursorMut`] / [`MapCursor`] — positional iteration
+//!   over the slot array's occupancy structure: seek once, then step
+//!   neighbor-to-neighbor with zero per-step rank→label resolution, and
+//!   (mutably) edit at the cursor across rebalances and growth rebuilds.
 //! * [`ListBuilder`] — the configuration entry point:
 //!   `ListBuilder::new().backend(Backend::Corollary11).seed(42).build()`.
 //!   Backends are selected at runtime ([`Backend`]), wrapped in
@@ -26,14 +36,16 @@
 //! doesn't enumerate.
 
 mod backend;
-mod label_map;
-mod ordered_list;
+pub mod cursor;
+pub mod label_map;
+pub mod ordered_list;
 
 pub use backend::{Backend, ErasedList, ListBuilder, RawList};
+pub use cursor::{Cursor, CursorMut, MapCursor};
 pub use label_map::{LabelMap, Range};
 pub use ordered_list::OrderedList;
 
 // Re-exported so API users can hold handles and read reports without
 // depending on lll-core directly.
 pub use lll_core::growable::{GrowableStats, Handle};
-pub use lll_core::report::{MoveRec, OpReport};
+pub use lll_core::report::{BulkReport, MoveRec, OpReport};

@@ -12,10 +12,13 @@
 //! against the Ω(n) operations between rebuilds.
 
 use crate::backend::{ErasedList, ListBuilder, RawList};
+use crate::cursor::{Cursor, CursorMut};
 use lll_core::growable::Handle;
-use lll_core::report::OpReport;
+use lll_core::ids::ElemId;
+use lll_core::report::{BulkReport, OpReport};
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::fmt;
 
 /// A dynamically sized ordered list with stable handles, O(1) `order`
 /// queries, and handle-relative insertion.
@@ -122,9 +125,27 @@ impl<V, L: RawList> OrderedList<V, L> {
 
     /// The handle of the element of `rank`.
     ///
-    /// Panics if `rank >= len`.
+    /// **Panics** if `rank >= len`;
+    /// [`get_handle_at_rank`](Self::get_handle_at_rank) is the checked
+    /// variant.
     pub fn handle_at_rank(&self, rank: usize) -> Handle {
         self.list.handle_at_rank(rank)
+    }
+
+    /// The handle of the element of `rank`, or `None` if `rank >= len` —
+    /// the checked form of [`handle_at_rank`](Self::handle_at_rank).
+    pub fn get_handle_at_rank(&self, rank: usize) -> Option<Handle> {
+        (rank < self.len()).then(|| self.handle_at_rank(rank))
+    }
+
+    /// Read-only access to the underlying backend (cost counters, labels,
+    /// slot-array introspection).
+    pub fn backend(&self) -> &L {
+        &self.list
+    }
+
+    pub(crate) fn label_of(&self, h: Handle) -> Option<u32> {
+        self.label.get(&h).copied()
     }
 
     /// How `a` and `b` compare in list order — O(1), one label comparison.
@@ -140,19 +161,38 @@ impl<V, L: RawList> OrderedList<V, L> {
         self.order(a, b) == Ordering::Less
     }
 
-    /// Absorb one operation's label churn, or resync after a rebuild.
-    fn sync(&mut self, pre_epoch: u64, rep: &OpReport) {
+    /// Absorb one operation's or batch's label churn, or resync after a
+    /// rebuild. Updates apply in stream order, last write winning — bulk
+    /// move logs are chronological (a later move may relocate a
+    /// just-placed element).
+    fn sync_updates(&mut self, pre_epoch: u64, updates: impl Iterator<Item = (ElemId, usize)>) {
         if self.list.epoch() != pre_epoch {
-            self.label.clear();
-            for (h, pos) in self.list.labels_snapshot() {
-                self.label.insert(h, pos as u32);
-            }
+            self.resync();
             return;
         }
-        for (elem, pos) in rep.label_updates() {
+        for (elem, pos) in updates {
             if let Some(h) = self.list.handle_of_elem(elem) {
                 self.label.insert(h, pos as u32);
             }
+        }
+    }
+
+    /// Absorb one operation's label churn, or resync after a rebuild.
+    fn sync(&mut self, pre_epoch: u64, rep: &OpReport) {
+        self.sync_updates(pre_epoch, rep.label_updates());
+    }
+
+    /// Batch counterpart of [`sync`](Self::sync).
+    fn sync_bulk(&mut self, pre_epoch: u64, rep: &BulkReport) {
+        self.sync_updates(pre_epoch, rep.label_updates());
+    }
+
+    /// Rebuild the label table from a full backend sweep (the post-rebuild
+    /// path: a rebuild rewrites every label).
+    fn resync(&mut self) {
+        self.label.clear();
+        for (h, pos) in self.list.labels_snapshot() {
+            self.label.insert(h, pos as u32);
         }
     }
 
@@ -193,6 +233,65 @@ impl<V, L: RawList> OrderedList<V, L> {
         self.insert_at(rank, value)
     }
 
+    /// Batch-insert `values` at consecutive ranks starting at `rank`, as
+    /// **one** backend operation: the run lands via a single evenly-spread
+    /// sweep (or rides a single growth rebuild) instead of per-element
+    /// rebalance cascades, and the label table absorbs one batch report.
+    /// Returns the new handles in list order.
+    ///
+    /// Panics if `rank > len`.
+    pub fn splice_at<I: IntoIterator<Item = V>>(&mut self, rank: usize, values: I) -> Vec<Handle> {
+        let vals: Vec<V> = values.into_iter().collect();
+        let pre_epoch = self.list.epoch();
+        let (handles, rep) = self.list.splice_reported(rank, vals.len());
+        for (&h, v) in handles.iter().zip(vals) {
+            self.value.insert(h, v);
+        }
+        self.sync_bulk(pre_epoch, &rep);
+        handles
+    }
+
+    /// Append `values` at the back in one bulk operation — the sorted
+    /// ingest path. Returns the new handles in list order.
+    ///
+    /// ```
+    /// use lll_api::OrderedList;
+    ///
+    /// let mut list = OrderedList::new();
+    /// let handles = list.extend_back(0..100);
+    /// assert_eq!(list.len(), 100);
+    /// assert!(list.precedes(handles[0], handles[99]));
+    /// ```
+    pub fn extend_back<I: IntoIterator<Item = V>>(&mut self, values: I) -> Vec<Handle> {
+        self.splice_at(self.len(), values)
+    }
+
+    /// Batch-insert `values` immediately after `after`, as one backend
+    /// operation. Returns the new handles in list order.
+    ///
+    /// Panics if `after` is stale.
+    pub fn splice_after<I: IntoIterator<Item = V>>(
+        &mut self,
+        after: Handle,
+        values: I,
+    ) -> Vec<Handle> {
+        let rank = self.rank(after).expect("splice_after on a stale handle");
+        self.splice_at(rank + 1, values)
+    }
+
+    /// Batch-insert `values` immediately before `before`, as one backend
+    /// operation. Returns the new handles in list order.
+    ///
+    /// Panics if `before` is stale.
+    pub fn splice_before<I: IntoIterator<Item = V>>(
+        &mut self,
+        before: Handle,
+        values: I,
+    ) -> Vec<Handle> {
+        let rank = self.rank(before).expect("splice_before on a stale handle");
+        self.splice_at(rank, values)
+    }
+
     /// Remove the element `h`, returning its value (`None` if stale).
     pub fn remove(&mut self, h: Handle) -> Option<V> {
         let rank = self.rank(h)?;
@@ -220,13 +319,47 @@ impl<V, L: RawList> OrderedList<V, L> {
     }
 
     /// Iterate `(handle, &value)` in list order.
-    pub fn iter(&self) -> impl Iterator<Item = (Handle, &V)> + '_ {
-        self.list.labels_snapshot().into_iter().map(move |(h, _)| (h, &self.value[&h]))
+    pub fn iter(&self) -> Iter<'_, V> {
+        let snap: Vec<Handle> = self.list.labels_snapshot().iter().map(|&(h, _)| h).collect();
+        Iter { order: snap.into_iter(), values: &self.value }
     }
 
     /// Iterate values in list order.
     pub fn values(&self) -> impl Iterator<Item = &V> + '_ {
         self.iter().map(|(_, v)| v)
+    }
+
+    /// A read-only cursor parked on the first element (exhausted if the
+    /// list is empty). Cursors walk the backend's occupancy structure
+    /// label-to-label — no per-step rank→label resolution.
+    pub fn cursor_front(&self) -> Cursor<'_, V, L> {
+        Cursor::new(self, self.list.first_label())
+    }
+
+    /// A read-only cursor parked on the last element.
+    pub fn cursor_back(&self) -> Cursor<'_, V, L> {
+        Cursor::new(self, self.list.last_label())
+    }
+
+    /// A read-only cursor parked on `h`, or `None` if `h` is stale.
+    /// Positioning is one O(1) label-table lookup.
+    pub fn cursor_at(&self, h: Handle) -> Option<Cursor<'_, V, L>> {
+        let label = self.label_of(h)?;
+        Some(Cursor::new(self, Some(label as usize)))
+    }
+
+    /// A mutating cursor parked on the first element (on the end ghost if
+    /// the list is empty): walk with `move_next`/`move_prev`, and edit in
+    /// place with `insert_before_here`/`insert_after_here`/`remove_here`.
+    pub fn cursor_front_mut(&mut self) -> CursorMut<'_, V, L> {
+        CursorMut::new_front(self)
+    }
+
+    /// A mutating cursor parked on `h`, or `None` if `h` is stale. One
+    /// rank resolution at creation; walking is label-native from there.
+    pub fn cursor_at_mut(&mut self, h: Handle) -> Option<CursorMut<'_, V, L>> {
+        let rank = self.rank(h)?;
+        Some(CursorMut::new_at(self, h, rank))
     }
 
     /// Verify the label table exactly mirrors the backend (O(n); used by
@@ -238,6 +371,92 @@ impl<V, L: RawList> OrderedList<V, L> {
         for (h, pos) in snap {
             assert_eq!(self.label.get(&h), Some(&(pos as u32)), "stale label for {h:?}");
         }
+    }
+}
+
+/// Iterator over `(Handle, &V)` in list order (see [`OrderedList::iter`]).
+pub struct Iter<'a, V> {
+    order: std::vec::IntoIter<Handle>,
+    values: &'a HashMap<Handle, V>,
+}
+
+impl<'a, V> Iterator for Iter<'a, V> {
+    type Item = (Handle, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let h = self.order.next()?;
+        Some((h, &self.values[&h]))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.order.size_hint()
+    }
+}
+
+impl<V> ExactSizeIterator for Iter<'_, V> {}
+
+/// Owning iterator over values in list order (see
+/// [`OrderedList::into_iter`](IntoIterator)).
+pub struct IntoIter<V> {
+    order: std::vec::IntoIter<Handle>,
+    values: HashMap<Handle, V>,
+}
+
+impl<V> Iterator for IntoIter<V> {
+    type Item = V;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let h = self.order.next()?;
+        self.values.remove(&h)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.order.size_hint()
+    }
+}
+
+impl<V> ExactSizeIterator for IntoIter<V> {}
+
+impl<'a, V, L: RawList> IntoIterator for &'a OrderedList<V, L> {
+    type Item = (Handle, &'a V);
+    type IntoIter = Iter<'a, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<V, L: RawList> IntoIterator for OrderedList<V, L> {
+    type Item = V;
+    type IntoIter = IntoIter<V>;
+
+    /// Consume the list, yielding owned values in list order.
+    fn into_iter(self) -> Self::IntoIter {
+        let order: Vec<Handle> = self.list.labels_snapshot().iter().map(|&(h, _)| h).collect();
+        IntoIter { order: order.into_iter(), values: self.value }
+    }
+}
+
+impl<V, L: RawList> Extend<V> for OrderedList<V, L> {
+    /// Append values at the back via the bulk path
+    /// ([`extend_back`](OrderedList::extend_back)).
+    fn extend<I: IntoIterator<Item = V>>(&mut self, iter: I) {
+        self.extend_back(iter);
+    }
+}
+
+impl<V> FromIterator<V> for OrderedList<V> {
+    /// Collect values in order on the default backend, via one bulk load.
+    fn from_iter<I: IntoIterator<Item = V>>(iter: I) -> Self {
+        let mut list = Self::new();
+        list.extend_back(iter);
+        list
+    }
+}
+
+impl<V: fmt::Debug, L: RawList> fmt::Debug for OrderedList<V, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.values()).finish()
     }
 }
 
@@ -301,6 +520,109 @@ mod tests {
         assert!(!ol.contains(a));
         assert!(ol.contains(b));
         assert_eq!(ol.get(b), Some(&"b"));
+    }
+
+    #[test]
+    fn bulk_splices_keep_order_and_labels() {
+        for backend in Backend::ALL {
+            let mut ol: OrderedList<u32> =
+                ListBuilder::new().backend(backend).initial_capacity(16).ordered_list();
+            let front = ol.extend_back(0..50); // forces growth: bulk rebuild path
+            ol.check_labels();
+            let mid = ol.splice_after(front[9], 100..103); // in-place batch
+            let pre = ol.splice_before(front[0], 200..202);
+            ol.check_labels();
+            let got: Vec<u32> = ol.values().copied().collect();
+            let mut want: Vec<u32> = (200..202).collect();
+            want.extend(0..10);
+            want.extend(100..103);
+            want.extend(10..50);
+            assert_eq!(got, want, "{}", backend.name());
+            assert!(ol.precedes(pre[1], front[0]), "{}", backend.name());
+            assert!(ol.precedes(front[9], mid[0]), "{}", backend.name());
+            assert!(ol.precedes(mid[2], front[10]), "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn bulk_append_is_cheaper_than_point_appends() {
+        let mk = || -> OrderedList<u32> {
+            ListBuilder::new().backend(Backend::Classic).initial_capacity(16).ordered_list()
+        };
+        let mut bulk = mk();
+        bulk.extend_back(0..2000);
+        let mut inc = mk();
+        for i in 0..2000 {
+            inc.push_back(i);
+        }
+        assert_eq!(bulk.values().collect::<Vec<_>>(), inc.values().collect::<Vec<_>>());
+        assert!(
+            bulk.total_moves() < inc.total_moves(),
+            "bulk {} !< incremental {}",
+            bulk.total_moves(),
+            inc.total_moves()
+        );
+    }
+
+    #[test]
+    fn std_traits_roundtrip() {
+        let list: OrderedList<char> = "layered".chars().collect();
+        assert_eq!(format!("{list:?}"), "['l', 'a', 'y', 'e', 'r', 'e', 'd']");
+        let pairs: Vec<(Handle, char)> = (&list).into_iter().map(|(h, c)| (h, *c)).collect();
+        assert_eq!(pairs.len(), 7);
+        assert_eq!(list.get_handle_at_rank(3), Some(pairs[3].0));
+        assert_eq!(list.get_handle_at_rank(7), None);
+        let back: String = list.into_iter().collect();
+        assert_eq!(back, "layered");
+    }
+
+    #[test]
+    fn cursor_mut_edits_under_churn() {
+        let mut ol: OrderedList<i32> =
+            ListBuilder::new().backend(Backend::Classic).initial_capacity(16).ordered_list();
+        ol.extend_back([10, 20, 30, 40]);
+        {
+            let mut cur = ol.cursor_front_mut();
+            assert_eq!(cur.value(), Some(&10));
+            cur.move_next();
+            cur.insert_before_here(15); // before the 20
+            assert_eq!(cur.value(), Some(&20));
+            assert_eq!(cur.rank(), 2);
+            cur.insert_after_here(25);
+            assert_eq!(cur.remove_here(), Some(20)); // cursor lands on 25
+            assert_eq!(cur.value(), Some(&25));
+            *cur.value_mut().unwrap() += 1;
+            // Walk to the ghost and append there.
+            while cur.handle().is_some() {
+                cur.move_next();
+            }
+            cur.insert_before_here(50);
+            cur.move_prev();
+            assert_eq!(cur.value(), Some(&50));
+        }
+        ol.check_labels();
+        let got: Vec<i32> = ol.values().copied().collect();
+        assert_eq!(got, [10, 15, 26, 30, 40, 50]);
+    }
+
+    #[test]
+    fn cursor_mut_survives_growth_rebuilds() {
+        let mut ol: OrderedList<usize> =
+            ListBuilder::new().backend(Backend::Classic).initial_capacity(16).ordered_list();
+        let h = ol.push_back(0);
+        {
+            let mut cur = ol.cursor_at_mut(h).expect("live handle");
+            // Insert far past the initial capacity through the cursor
+            // alone: every growth rebuild must leave the cursor usable.
+            for i in 1..200 {
+                cur.insert_before_here(i);
+            }
+            assert_eq!(cur.handle(), Some(h));
+            assert_eq!(cur.rank(), 199);
+        }
+        ol.check_labels();
+        assert_eq!(ol.rank(h), Some(199));
+        assert_eq!(ol.len(), 200);
     }
 
     #[test]

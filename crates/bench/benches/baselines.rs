@@ -1,11 +1,15 @@
-//! E13 wall-clock throughput of the base algorithms (Criterion).
+//! E13 wall-clock throughput of the base algorithms (Criterion), plus the
+//! bulk-ingest comparison for the production API.
 //!
 //! Cost-model experiments live in the `experiments` binary; these benches
 //! measure operations per second of each structure on two canonical
-//! workloads (uniform random inserts and hammer inserts).
+//! workloads (uniform random inserts and hammer inserts), and compare
+//! `LabelMap::from_sorted_iter` (one evenly-spread sweep per batch) against
+//! key-at-a-time insertion of the same pre-sorted data.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use lll_adaptive::AdaptiveBuilder;
+use lll_api::{Backend, LabelMap, ListBuilder};
 use lll_classic::ClassicBuilder;
 use lll_core::traits::{LabelingBuilder, ListLabeling};
 use lll_deamortized::DeamortizedBuilder;
@@ -57,5 +61,42 @@ fn bench_baselines(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_baselines);
+/// Bulk vs incremental ingest of a pre-sorted key set through `LabelMap`,
+/// on the default layered backend and the classical PMA.
+fn bench_bulk_load(c: &mut Criterion) {
+    let n: u64 = 1 << 14;
+    let mut g = c.benchmark_group("bulk_load");
+    g.sample_size(10);
+    for backend in [Backend::Corollary11, Backend::Classic] {
+        g.bench_with_input(BenchmarkId::new("bulk", backend.name()), &n, |bch, &n| {
+            bch.iter_batched(
+                || (),
+                |_| {
+                    let mut map: LabelMap<u64, u64> =
+                        ListBuilder::new().backend(backend).seed(7).label_map();
+                    map.extend_sorted((0..n).map(|k| (k, k)).collect());
+                    criterion::black_box(map.total_moves())
+                },
+                BatchSize::PerIteration,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("incremental", backend.name()), &n, |bch, &n| {
+            bch.iter_batched(
+                || (),
+                |_| {
+                    let mut map: LabelMap<u64, u64> =
+                        ListBuilder::new().backend(backend).seed(7).label_map();
+                    for k in 0..n {
+                        map.insert(k, k);
+                    }
+                    criterion::black_box(map.total_moves())
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines, bench_bulk_load);
 criterion_main!(benches);

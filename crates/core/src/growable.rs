@@ -15,9 +15,10 @@
 
 use crate::ids::{ElemId, IdGen};
 use crate::ops::Op;
-use crate::report::OpReport;
+use crate::report::{BulkReport, OpReport};
 use crate::traits::{LabelingBuilder, ListLabeling};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A stable, rebuild-surviving element handle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -48,6 +49,10 @@ pub struct Growable<B: LabelingBuilder> {
     /// Bumped on every rebuild. All labels (slot positions) are invalidated
     /// when this changes; see [`Growable::epoch`].
     epoch: u64,
+    /// Count of label→rank resolutions ([`Growable::rank_at_label`]) —
+    /// instrumentation for callers that promise label-native navigation
+    /// (the `lll-api` cursors) and want to prove they keep it.
+    rank_resolutions: AtomicU64,
 }
 
 impl<B: LabelingBuilder> Growable<B> {
@@ -64,6 +69,7 @@ impl<B: LabelingBuilder> Growable<B> {
             stats: GrowableStats::default(),
             op_moves: 0,
             epoch: 0,
+            rank_resolutions: AtomicU64::new(0),
         }
     }
 
@@ -112,7 +118,54 @@ impl<B: LabelingBuilder> Growable<B> {
 
     /// The rank of the element whose label (slot position) is `label`.
     pub fn rank_at_label(&self, label: usize) -> usize {
+        self.rank_resolutions.fetch_add(1, Ordering::Relaxed);
         self.inner.slots().rank_at(label)
+    }
+
+    /// How many label→rank resolutions ([`rank_at_label`]) this structure
+    /// has served. Cursors navigate the occupancy structure label-to-label
+    /// and perform none per step; tests pin that here.
+    ///
+    /// [`rank_at_label`]: Self::rank_at_label
+    pub fn rank_resolutions(&self) -> u64 {
+        self.rank_resolutions.load(Ordering::Relaxed)
+    }
+
+    /// The label (slot position) of the first element, if any.
+    pub fn first_label(&self) -> Option<usize> {
+        self.inner.slots().occ().next_marked_at_or_after(0)
+    }
+
+    /// The label (slot position) of the last element, if any.
+    pub fn last_label(&self) -> Option<usize> {
+        let m = self.inner.slots().num_slots();
+        if m == 0 {
+            return None;
+        }
+        self.inner.slots().occ().prev_marked_at_or_before(m - 1)
+    }
+
+    /// The label of the next element after `label`, if any — one occupancy
+    /// query, no rank arithmetic.
+    pub fn next_label_after(&self, label: usize) -> Option<usize> {
+        self.inner.slots().occ().next_marked_at_or_after(label + 1)
+    }
+
+    /// The label of the previous element before `label`, if any.
+    pub fn prev_label_before(&self, label: usize) -> Option<usize> {
+        if label == 0 {
+            return None;
+        }
+        self.inner.slots().occ().prev_marked_at_or_before(label - 1)
+    }
+
+    /// The handle of the element stored at `label`, or `None` for a free
+    /// slot.
+    pub fn handle_at_label(&self, label: usize) -> Option<Handle> {
+        if label >= self.inner.slots().num_slots() {
+            return None;
+        }
+        self.inner.slots().get(label).and_then(|e| self.handle_of_elem(e))
     }
 
     /// `(handle, label)` for every element in rank order — a full
@@ -154,18 +207,28 @@ impl<B: LabelingBuilder> Growable<B> {
     /// Rebuild into a structure of the given capacity, preserving order and
     /// handles.
     fn rebuild(&mut self, new_capacity: usize) {
-        let order: Vec<Handle> =
+        self.rebuild_merged(new_capacity, 0, 0);
+    }
+
+    /// Rebuild into a structure of `new_capacity`, splicing `count` brand
+    /// new elements in at `rank` on the way through. The whole population —
+    /// survivors and newcomers — lands via **one** bulk
+    /// [`splice`](ListLabeling::splice) into the fresh structure (a single
+    /// evenly-spread sweep on PMA-skeleton backends), and the epoch bumps
+    /// exactly once. Returns the newcomers' handles in rank order.
+    fn rebuild_merged(&mut self, new_capacity: usize, rank: usize, count: usize) -> Vec<Handle> {
+        let mut order: Vec<Handle> =
             (0..self.len()).map(|r| self.handle_of[&self.inner.elem_at_rank(r)]).collect();
+        let fresh_handles: Vec<Handle> = (0..count).map(|_| Handle(self.ids.fresh().0)).collect();
+        order.splice(rank..rank, fresh_handles.iter().copied());
         let mut fresh = self.builder.build_default(new_capacity);
-        let mut handle_of = HashMap::with_capacity(order.len());
-        for (r, &h) in order.iter().enumerate() {
-            let rep = fresh.insert(r); // append: the cheapest insertion path
-            self.stats.rebuild_moves += rep.cost();
-            handle_of.insert(rep.placed.expect("insert places").0, h);
-        }
+        let bulk = fresh.splice(0, order.len());
+        self.stats.rebuild_moves += bulk.cost();
+        debug_assert_eq!(bulk.placed.len(), order.len(), "splice placed a wrong count");
+        self.handle_of = bulk.placed.iter().copied().zip(order).collect();
         self.inner = fresh;
-        self.handle_of = handle_of;
         self.epoch += 1;
+        fresh_handles
     }
 
     /// Insert a new element at `rank`, growing if necessary.
@@ -214,6 +277,61 @@ impl<B: LabelingBuilder> Growable<B> {
             self.rebuild(target);
         }
         (h, rep)
+    }
+
+    /// Batch-insert `count` new elements at consecutive final ranks
+    /// `rank .. rank + count`, growing at most once. Returns the new
+    /// handles in rank order plus one [`BulkReport`] move log for the whole
+    /// batch.
+    ///
+    /// Two regimes, both a single logical operation:
+    ///
+    /// * **Fits in place** — the inner structure's
+    ///   [`splice`](ListLabeling::splice) interleaves the run in one
+    ///   evenly-spread sweep (PMA-skeleton backends) or per-insert
+    ///   (fallback); the report carries the move log, the epoch is
+    ///   untouched.
+    /// * **Needs growth** — the batch rides the rebuild: survivors and
+    ///   newcomers land together in one sweep into a structure sized for
+    ///   the combined population (capacity doubles until it fits, so a
+    ///   bulk load never pays the incremental doubling cascade). The
+    ///   report is empty and the **epoch bumps once**; label-table callers
+    ///   resync from [`labels_snapshot`](Self::labels_snapshot) exactly as
+    ///   for any rebuild.
+    pub fn splice_at(&mut self, rank: usize, count: usize) -> (Vec<Handle>, BulkReport) {
+        assert!(rank <= self.len(), "splice rank {rank} > len {}", self.len());
+        if count == 0 {
+            return (Vec::new(), BulkReport::default());
+        }
+        if self.len() + count > self.capacity() {
+            let mut cap = self.capacity();
+            while cap < self.len() + count {
+                cap *= 2;
+            }
+            self.stats.grows += 1;
+            let handles = self.rebuild_merged(cap, rank, count);
+            return (handles, BulkReport::default());
+        }
+        let bulk = self.inner.splice(rank, count);
+        self.op_moves += bulk.cost();
+        let handles: Vec<Handle> = bulk
+            .placed
+            .iter()
+            .map(|&e| {
+                let h = Handle(self.ids.fresh().0);
+                self.handle_of.insert(e, h);
+                h
+            })
+            .collect();
+        (handles, bulk)
+    }
+
+    /// Bulk-load `count` new elements at the tail (final ranks
+    /// `len .. len + count`) — the sorted-ingest path: a caller holding a
+    /// pre-sorted run appends it here in one sweep instead of `count`
+    /// point insertions. Equivalent to `splice_at(len, count)`.
+    pub fn bulk_load(&mut self, count: usize) -> (Vec<Handle>, BulkReport) {
+        self.splice_at(self.len(), count)
     }
 
     /// Apply an [`Op`].
@@ -349,6 +467,94 @@ mod tests {
         let (gone, rep) = g.delete_reported(0);
         assert_eq!(gone, handles[0]);
         assert_eq!(rep.removed.map(|(e, _)| e), rep.removed_elem());
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental_with_fewer_moves() {
+        let n = 4096;
+        let mut bulk = Growable::new(ClassicBuilder, 16);
+        let e0 = bulk.epoch();
+        let (handles, _) = bulk.bulk_load(n);
+        assert_eq!(bulk.len(), n);
+        assert_eq!(handles.len(), n);
+        assert_eq!(bulk.epoch(), e0 + 1, "one growth rebuild, one epoch bump");
+        assert_eq!(bulk.iter().collect::<Vec<_>>(), handles, "rank order == load order");
+
+        let mut inc = Growable::new(ClassicBuilder, 16);
+        for i in 0..n {
+            inc.insert(i);
+        }
+        assert!(
+            bulk.total_moves() < inc.total_moves(),
+            "bulk {} !< incremental {}",
+            bulk.total_moves(),
+            inc.total_moves()
+        );
+        // The bulk path is a true one-pass load: ~1 move per element.
+        assert!(bulk.total_moves() <= 2 * n as u64, "bulk load not O(n): {}", bulk.total_moves());
+    }
+
+    #[test]
+    fn splice_at_interleaves_and_reports() {
+        let mut g = Growable::new(ClassicBuilder, 64);
+        let mut reference: Vec<Handle> = Vec::new();
+        for i in 0..20 {
+            reference.push(g.insert(i));
+        }
+        // In-place splice (fits in capacity): report carries the batch.
+        let e0 = g.epoch();
+        let (mid, rep) = g.splice_at(10, 8);
+        assert_eq!(g.epoch(), e0, "no growth, no epoch bump");
+        assert_eq!(rep.placed.len(), 8);
+        assert!(rep.cost() >= 8, "each newcomer costs at least its placement");
+        for (i, h) in mid.iter().enumerate() {
+            reference.insert(10 + i, *h);
+        }
+        assert_eq!(g.iter().collect::<Vec<_>>(), reference);
+        // Growth splice: epoch bumps once, report is empty, order holds.
+        let (tail, rep) = g.splice_at(5, 100);
+        assert_eq!(g.epoch(), e0 + 1);
+        assert_eq!(rep.cost(), 0, "growth splice reports via the epoch");
+        for (i, h) in tail.iter().enumerate() {
+            reference.insert(5 + i, *h);
+        }
+        assert_eq!(g.iter().collect::<Vec<_>>(), reference);
+        assert_eq!(g.len(), 128);
+    }
+
+    #[test]
+    fn empty_splice_is_free() {
+        let mut g = Growable::new(ClassicBuilder, 16);
+        let (handles, rep) = g.splice_at(0, 0);
+        assert!(handles.is_empty());
+        assert_eq!(rep.cost(), 0);
+        assert_eq!(g.total_moves(), 0);
+    }
+
+    #[test]
+    fn label_navigation_walks_without_rank_resolution() {
+        let mut g = Growable::new(ClassicBuilder, 16);
+        let handles: Vec<Handle> = (0..200).map(|i| g.insert(i)).collect();
+        let before = g.rank_resolutions();
+        let mut walked = Vec::with_capacity(200);
+        let mut label = g.first_label();
+        while let Some(l) = label {
+            walked.push(g.handle_at_label(l).expect("occupied label"));
+            label = g.next_label_after(l);
+        }
+        assert_eq!(walked, handles);
+        assert_eq!(g.rank_resolutions(), before, "label walk must not resolve ranks");
+        // And backwards.
+        let mut rev = Vec::with_capacity(200);
+        let mut label = g.last_label();
+        while let Some(l) = label {
+            rev.push(g.handle_at_label(l).expect("occupied label"));
+            label = g.prev_label_before(l);
+        }
+        rev.reverse();
+        assert_eq!(rev, walked);
+        assert_eq!(g.prev_label_before(g.first_label().unwrap()), None);
+        assert_eq!(g.next_label_after(g.last_label().unwrap()), None);
     }
 
     #[test]

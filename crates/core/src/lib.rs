@@ -53,7 +53,7 @@ pub mod prelude {
     pub use crate::ids::ElemId;
     pub use crate::ops::Op;
     pub use crate::pma::{PmaBase, RebalancePolicy};
-    pub use crate::report::{MoveRec, OpReport};
+    pub use crate::report::{BulkReport, MoveRec, OpReport};
     pub use crate::slot_array::SlotArray;
     pub use crate::traits::{LabelingBuilder, ListLabeling};
 }

@@ -90,6 +90,51 @@ impl OpReport {
     }
 }
 
+/// The outcome of a batch insertion ([`ListLabeling::splice`]) — one move
+/// log covering the whole sweep.
+///
+/// Unlike [`OpReport`], which separates the placement from the other moves,
+/// a bulk operation's placements appear **only** in `moves` (a placement is
+/// logged with `from == to`): a later move in the same batch may relocate a
+/// just-placed element, so chronological order is the only safe order for
+/// label-table maintenance.
+///
+/// [`ListLabeling::splice`]: crate::traits::ListLabeling::splice
+#[derive(Clone, Debug, Default)]
+pub struct BulkReport {
+    /// Every physical element move performed by the batch, in chronological
+    /// order (placements of the new elements included, `from == to`).
+    pub moves: Vec<MoveRec>,
+    /// The identities of the newly inserted elements, in rank order.
+    pub placed: Vec<ElemId>,
+}
+
+impl BulkReport {
+    /// The batch's cost in the paper's model: number of element moves.
+    #[inline]
+    pub fn cost(&self) -> u64 {
+        self.moves.len() as u64
+    }
+
+    /// `(elem, new_label)` in chronological order — apply every entry, in
+    /// order, to bring a label table keyed by element up to date. An element
+    /// moved several times appears several times; the last entry wins.
+    pub fn label_updates(&self) -> impl Iterator<Item = (ElemId, usize)> + '_ {
+        self.moves.iter().map(|mv| (mv.elem, mv.to as usize))
+    }
+
+    /// Fold one single-operation report into this batch (the per-insert
+    /// fallback path of [`ListLabeling::splice`]).
+    ///
+    /// [`ListLabeling::splice`]: crate::traits::ListLabeling::splice
+    pub fn absorb_op(&mut self, op: OpReport) {
+        self.moves.extend(op.moves);
+        if let Some((e, _)) = op.placed {
+            self.placed.push(e);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +163,27 @@ mod tests {
         // label_updates: every move, then the placement, in order.
         let ups: Vec<(ElemId, usize)> = r.label_updates().collect();
         assert_eq!(ups, vec![(ElemId(1), 3), (ElemId(2), 6)]);
+    }
+
+    #[test]
+    fn bulk_report_is_chronological() {
+        let mut b = BulkReport::default();
+        let mut op = OpReport::default();
+        op.moves.push(MoveRec { elem: ElemId(1), from: 4, to: 4 });
+        op.placed = Some((ElemId(1), 4));
+        b.absorb_op(op);
+        let mut op = OpReport::default();
+        // The second insert relocates the first element: the later entry
+        // must win in label_updates order.
+        op.moves.push(MoveRec { elem: ElemId(1), from: 4, to: 5 });
+        op.moves.push(MoveRec { elem: ElemId(2), from: 4, to: 4 });
+        op.placed = Some((ElemId(2), 4));
+        b.absorb_op(op);
+        assert_eq!(b.cost(), 3);
+        assert_eq!(b.placed, vec![ElemId(1), ElemId(2)]);
+        let last: std::collections::HashMap<ElemId, usize> = b.label_updates().collect();
+        assert_eq!(last[&ElemId(1)], 5);
+        assert_eq!(last[&ElemId(2)], 4);
     }
 
     #[test]

@@ -228,6 +228,55 @@ pub fn spread_moves(slots: &mut SlotArray, pairs: &[(usize, usize)]) {
     }
 }
 
+/// Interleave a sorted run of new elements into the window `[a, b)` in one
+/// evenly-spread sweep.
+///
+/// The `new_ids.len()` new elements enter at local rank `at` (0-based among
+/// the window's current occupants, so `at == 0` prepends and `at == k`
+/// appends), all consecutive. The window's occupants and the new elements
+/// are re-spread together to the canonical even layout, old elements first
+/// via the [`spread_moves`] discipline (their targets are free or vacated,
+/// never crossing an occupied slot) and new elements placed afterwards into
+/// the reserved — by then free — gaps. One pass, at most one move per old
+/// element plus one placement per new element.
+///
+/// Returns `(elem, position)` for each new element in rank order. Panics if
+/// the combined population exceeds the window.
+pub fn merge_sorted(
+    slots: &mut SlotArray,
+    a: usize,
+    b: usize,
+    at: usize,
+    new_ids: &[ElemId],
+) -> Vec<(ElemId, u32)> {
+    let k = slots.occupied_in(a, b);
+    let total = k + new_ids.len();
+    assert!(total <= b - a, "merge_sorted: {total} elements into {} slots", b - a);
+    assert!(at <= k, "merge_sorted: local rank {at} > window population {k}");
+    let targets = crate::density::even_targets(a, b, total);
+    // Old occupants keep their order; targets at `at..at + new` are reserved
+    // for the incoming run.
+    let mut pairs = Vec::with_capacity(k);
+    let mut i = 0usize;
+    for pos in a..b {
+        if slots.is_occupied(pos) {
+            let t = if i < at { targets[i] } else { targets[i + new_ids.len()] };
+            pairs.push((pos, t));
+            i += 1;
+        }
+    }
+    spread_moves(slots, &pairs);
+    new_ids
+        .iter()
+        .enumerate()
+        .map(|(j, &id)| {
+            let pos = targets[at + j];
+            slots.place(pos, id);
+            (id, pos as u32)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +364,58 @@ mod tests {
         spread_moves(&mut s, &[(0, 0), (3, 1), (6, 2)]);
         let got: Vec<(usize, ElemId)> = s.iter_occupied().collect();
         assert_eq!(got, vec![(0, ids[0]), (1, ids[1]), (2, ids[2])]);
+    }
+
+    #[test]
+    fn merge_sorted_interleaves_a_run() {
+        // Occupants at 1, 4, 9; merge three new elements at local rank 1:
+        // final order must be old0, new0, new1, new2, old1, old2.
+        let (mut s, old) = filled(&[1, 4, 9], 12);
+        let fresh: Vec<ElemId> = (100..103).map(ElemId).collect();
+        let placed = merge_sorted(&mut s, 0, 12, 1, &fresh);
+        assert_eq!(placed.len(), 3);
+        s.check_consistent();
+        assert_eq!(s.len(), 6);
+        let order: Vec<ElemId> = s.iter_occupied().map(|(_, e)| e).collect();
+        assert_eq!(order[0], old[0]);
+        assert_eq!(&order[1..4], &fresh[..]);
+        assert_eq!(order[4], old[1]);
+        assert_eq!(order[5], old[2]);
+        // Even spread: positions are the canonical targets for 6-of-12.
+        let pos: Vec<usize> = s.iter_occupied().map(|(p, _)| p).collect();
+        assert_eq!(pos, vec![0, 2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn merge_sorted_costs_one_sweep() {
+        // 4 occupants, 4 new: at most 4 old moves + exactly 4 placements.
+        let (mut s, _) = filled(&[0, 1, 2, 3], 16);
+        let fresh: Vec<ElemId> = (100..104).map(ElemId).collect();
+        let before = s.lifetime_moves();
+        merge_sorted(&mut s, 0, 16, 4, &fresh);
+        let swept = s.lifetime_moves() - before;
+        assert!(swept <= 8, "one sweep should cost ≤ n moves, got {swept}");
+        s.check_consistent();
+    }
+
+    #[test]
+    fn merge_sorted_append_and_prepend_windows() {
+        let (mut s, old) = filled(&[5, 6], 10);
+        let head = [ElemId(100)];
+        merge_sorted(&mut s, 0, 10, 0, &head); // prepend
+        let tail = [ElemId(101)];
+        merge_sorted(&mut s, 0, 10, 3, &tail); // append
+        let order: Vec<ElemId> = s.iter_occupied().map(|(_, e)| e).collect();
+        assert_eq!(order, vec![head[0], old[0], old[1], tail[0]]);
+        s.check_consistent();
+    }
+
+    #[test]
+    #[should_panic(expected = "merge_sorted")]
+    fn merge_sorted_overflow_panics() {
+        let (mut s, _) = filled(&[0, 1], 4);
+        let fresh: Vec<ElemId> = (100..103).map(ElemId).collect();
+        merge_sorted(&mut s, 0, 4, 2, &fresh);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use crate::ids::ElemId;
 use crate::ops::Op;
-use crate::report::OpReport;
+use crate::report::{BulkReport, OpReport};
 use crate::slot_array::SlotArray;
 
 /// A list-labeling data structure of fixed capacity `n` over `m` slots
@@ -43,6 +43,35 @@ pub trait ListLabeling {
     ///
     /// Panics if `rank >= len`.
     fn delete(&mut self, rank: usize) -> OpReport;
+
+    /// Insert `count` new elements at consecutive final ranks
+    /// `rank .. rank + count` — the batch-ingest primitive. Returns one
+    /// [`BulkReport`] covering the whole batch, with the new identities in
+    /// rank order.
+    ///
+    /// The default decomposes into `count` single insertions (always
+    /// correct, never cheaper). Algorithms with a native bulk path override
+    /// it: the PMA skeleton ([`PmaBase`](crate::pma::PmaBase)) interleaves
+    /// the run into one window rebalance via
+    /// [`merge_sorted`](crate::slot_array::merge_sorted), costing one
+    /// evenly-spread sweep instead of `count` independent rebalance
+    /// cascades.
+    ///
+    /// Panics if `rank > len` or `len + count > capacity`.
+    fn splice(&mut self, rank: usize, count: usize) -> BulkReport {
+        assert!(rank <= self.len(), "splice rank {rank} > len {}", self.len());
+        assert!(
+            self.len() + count <= self.capacity(),
+            "splice of {count} overflows capacity {} (len {})",
+            self.capacity(),
+            self.len()
+        );
+        let mut bulk = BulkReport::default();
+        for i in 0..count {
+            bulk.absorb_op(self.insert(rank + i));
+        }
+        bulk
+    }
 
     /// Apply one operation.
     fn apply(&mut self, op: Op) -> OpReport {

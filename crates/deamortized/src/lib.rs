@@ -1,7 +1,7 @@
 //! # lll-deamortized — a worst-case-bounded packed-memory array
 //!
 //! The `Z` of the paper's Corollary 11 is a list-labeling algorithm with
-//! **worst-case** cost O(log² n) per operation (Willard 1992 [49]; see also
+//! **worst-case** cost O(log² n) per operation (Willard 1992 \[49\]; see also
 //! the simplified constructions of Bender et al. [7, 16]). Where the
 //! classical PMA occasionally stops the world to re-spread a huge window,
 //! a deamortized PMA pays a bounded amount on *every* operation.
@@ -36,8 +36,8 @@
 
 use lll_core::density::{even_targets, SegTree, Thresholds};
 use lll_core::ids::{ElemId, IdGen};
-use lll_core::report::OpReport;
-use lll_core::slot_array::SlotArray;
+use lll_core::report::{BulkReport, OpReport};
+use lll_core::slot_array::{merge_sorted, SlotArray};
 use lll_core::traits::{log2f, LabelingBuilder, ListLabeling};
 use std::collections::HashMap;
 
@@ -604,6 +604,64 @@ impl ListLabeling for DeamortizedPma {
         let id = self.remove_tracked(pos);
         self.patrol_lower(pos);
         OpReport { moves: self.slots.drain_log(), placed: None, removed: Some((id, pos as u32)) }
+    }
+
+    /// Native bulk insert: interleave the run into the smallest window
+    /// around the insertion gap that stays within its **soft** threshold
+    /// (so the sweep leaves no immediate patrol debt), as one evenly-spread
+    /// sweep. Plans nested inside the swept window are completed by
+    /// absorption (the sweep achieves their even layout); overlapping
+    /// outer plans tolerate the motion as they do any concurrent edit —
+    /// stale entries resolve through `elem_pos` and blocked moves clamp.
+    ///
+    /// The per-operation worst-case bound applies to single operations; a
+    /// batch of `count` is one operation costing at most one sweep of its
+    /// window (≤ window population + `count` moves).
+    fn splice(&mut self, rank: usize, count: usize) -> BulkReport {
+        let len = self.len();
+        assert!(rank <= len, "splice rank {rank} > len {len}");
+        assert!(len + count <= self.capacity, "splice of {count} overflows capacity");
+        if count == 0 {
+            return BulkReport::default();
+        }
+        if count == 1 {
+            let mut bulk = BulkReport::default();
+            bulk.absorb_op(self.insert(rank));
+            return bulk;
+        }
+        let height = self.tree.height();
+        let (a, b) = if len == 0 {
+            self.tree.root_window()
+        } else {
+            let probe =
+                if rank < len { self.slots.select(rank) } else { self.slots.select(len - 1) };
+            let seg = self.tree.seg_of(probe);
+            let mut choice = None;
+            for level in 0..=height {
+                let (a, b) = self.tree.window(level, seg);
+                let occ = self.slots.occupied_in(a, b);
+                if occ + count <= b - a
+                    && (occ + count) as f64 <= self.soft_upper(level) * (b - a) as f64
+                {
+                    choice = Some((a, b));
+                    break;
+                }
+            }
+            // The root always fits physically (capacity < num_slots).
+            choice.unwrap_or_else(|| self.tree.root_window())
+        };
+        let completed = self.jobs.len();
+        self.jobs.retain(|j| !(a <= j.a && j.b <= b));
+        self.stats.jobs_completed += (completed - self.jobs.len()) as u64;
+        self.stats.inline_rebalances += 1;
+        let at = rank - self.slots.rank_at(a);
+        let ids: Vec<ElemId> = (0..count).map(|_| self.ids.fresh()).collect();
+        merge_sorted(&mut self.slots, a, b, at, &ids);
+        let moves = self.slots.drain_log();
+        for mv in &moves {
+            self.elem_pos.insert(mv.elem, mv.to as usize);
+        }
+        BulkReport { moves, placed: ids }
     }
 
     fn slots(&self) -> &SlotArray {

@@ -18,7 +18,7 @@
 use crate::tag_array::{SlotTag, TagArray};
 use lll_core::fenwick::Fenwick;
 use lll_core::ids::{ElemId, IdGen};
-use lll_core::report::OpReport;
+use lll_core::report::{BulkReport, OpReport};
 use lll_core::slot_array::SlotArray;
 use lll_core::traits::{LabelingBuilder, ListLabeling};
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -224,14 +224,26 @@ impl<F: ListLabeling, R: ListLabeling> Embed<F, R> {
         };
         // Initialize the R-shell with all F-slots and buffer slots, evenly
         // interleaved by slot rank: the i-th slot is a buffer slot when the
-        // scaled counter crosses an integer.
-        for i in 0..r_cap {
-            let is_buffer = ((i + 1) * buf_count) / r_cap != (i * buf_count) / r_cap;
-            let tag = if is_buffer { SlotTag::Buf } else { SlotTag::F };
-            let rep = this.shell.insert(i);
-            this.stats.init_cost += rep.cost();
-            this.mirror_shell(&rep, Some(tag));
+        // scaled counter crosses an integer. The whole population enters
+        // through one bulk splice (one evenly-spread sweep when R has a
+        // native bulk path) and is mirrored in stream order: the k-th
+        // placement is the slot of rank k, and later in-batch moves carry
+        // a placed slot's tag along with it.
+        let bulk = this.shell.splice(0, r_cap);
+        this.stats.init_cost += bulk.cost();
+        let mut placed_idx = 0usize;
+        for mv in &bulk.moves {
+            if mv.from == mv.to {
+                let i = placed_idx;
+                placed_idx += 1;
+                let is_buffer = ((i + 1) * buf_count) / r_cap != (i * buf_count) / r_cap;
+                let tag = if is_buffer { SlotTag::Buf } else { SlotTag::F };
+                this.tags.retag(mv.from as usize, tag);
+            } else {
+                this.tags.move_slot(mv.from as usize, mv.to as usize);
+            }
         }
+        debug_assert_eq!(placed_idx, r_cap, "init placements out of order");
         debug_assert_eq!(this.tags.f_count(), f_count);
         debug_assert_eq!(this.tags.buf_count(), buf_count);
         this
@@ -919,6 +931,53 @@ impl<F: ListLabeling, R: ListLabeling> ListLabeling for Embed<F, R> {
             placed: Some((emb_id, placed_pos as u32)),
             removed: None,
         }
+    }
+
+    /// Native bulk insert: complete any pending rebuild so the physical
+    /// array mirrors the simulation exactly (the fast-path precondition),
+    /// run the simulation's own [`splice`](ListLabeling::splice) — one
+    /// evenly-spread sweep when `F` is a PMA skeleton — and mirror its
+    /// move log 1:1, exactly as the fast path does per operation. With no
+    /// buffered elements there is no deadweight, so the physical cost
+    /// equals the simulation's: the batch inherits `F`'s O(1)-per-element
+    /// bulk bound instead of paying `count` full operations.
+    fn splice(&mut self, rank: usize, count: usize) -> BulkReport {
+        let len = self.len();
+        assert!(rank <= len, "splice rank {rank} > len {len}");
+        assert!(len + count <= self.capacity, "splice of {count} overflows capacity");
+        if count == 0 {
+            return BulkReport::default();
+        }
+        if count == 1 {
+            let mut bulk = BulkReport::default();
+            bulk.absorb_op(self.insert(rank));
+            return bulk;
+        }
+        // Catch-up moves are part of the batch: they are drained into the
+        // same report below.
+        self.force_catch_up();
+        debug_assert_eq!(self.buffered(), 0);
+        debug_assert!(self.ghosts.is_empty());
+        let sim_bulk = self.sim.splice(rank, count);
+        self.stats.fast_ops += count as u64;
+        for mv in &sim_bulk.moves {
+            if mv.from == mv.to {
+                // Placement of a new simulation element (sim ids are dense).
+                debug_assert_eq!(mv.elem.0 as usize, self.sim2emb.len());
+                let fidx = mv.from as usize;
+                let emb_id = self.ids.fresh();
+                self.sim2emb.push(emb_id);
+                let pos = self.tags.f_pos(fidx);
+                self.tags.place_content(pos, emb_id);
+                self.cur_f[fidx] = Some(emb_id);
+                self.fen_curf.add(fidx, 1);
+                self.elem_loc.insert(emb_id, Loc::F(fidx));
+            } else {
+                self.emulator_relocate(mv.from as usize, mv.to as usize);
+            }
+        }
+        let placed = sim_bulk.placed.iter().map(|sid| self.sim2emb[sid.0 as usize]).collect();
+        BulkReport { moves: self.tags.contents.drain_log(), placed }
     }
 
     fn delete(&mut self, rank: usize) -> OpReport {

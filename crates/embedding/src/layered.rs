@@ -1,7 +1,7 @@
 //! Theorem 3's double embedding `X ⊳ (Y ⊳ Z)` and the paper's concrete
 //! instantiations (Corollaries 11 and 12).
 //!
-//! Because [`Embed`] is itself a [`ListLabeling`] built from two
+//! Because [`Embed`] is itself a [`ListLabeling`](lll_core::traits::ListLabeling) built from two
 //! [`LabelingBuilder`]s, the double embedding is literally a nested type:
 //! `Embed<X, Embed<Y, Z>>`. The builders below wire up the slot budgets:
 //! the outer embedding uses ε = 1/3 and the inner ε = 1/6 so that every

@@ -1,7 +1,7 @@
 //! # lll-predictions — a learning-augmented packed-memory array
 //!
 //! McCauley, Moseley, Niaparast, Singh, *Online List Labeling with
-//! Predictions* (2023) — reference [35] of the layered-list-labeling paper
+//! Predictions* (2023) — reference \[35\] of the layered-list-labeling paper
 //! and the `X` of its Corollary 12.
 //!
 //! Each inserted element arrives with a **predicted final rank**; if the

@@ -2,13 +2,13 @@
 //!
 //! The `Y` of the paper's Corollary 11 is the randomized algorithm of
 //! Bender, Conway, Farach-Colton, Komlós, Kuszmaul, Wein (FOCS 2022,
-//! reference [8]), which breaks the O(log² n) barrier with expected cost
+//! reference \[8\]), which breaks the O(log² n) barrier with expected cost
 //! O(log^{3/2} n) — at the price of *"almost pessimal tail bounds (the cost
 //! is k with probability ~1/k)"* (paper §1) and no worst-case guarantee.
 //!
 //! **Substitution note (see DESIGN.md §5.4).** We implement a faithful
 //! *profile equivalent* rather than the full FOCS'22 machinery: a
-//! history-independence-styled PMA (after Bender et al., PODS 2016 [4])
+//! history-independence-styled PMA (after Bender et al., PODS 2016 \[4\])
 //! with two randomized mechanisms:
 //!
 //! 1. **Randomized per-node density thresholds.** Each calibrator-tree node

@@ -83,7 +83,7 @@ pub fn uniform_churn(n: usize, steady: usize, seed: u64) -> Workload {
 }
 
 /// `n` insertions all at the same rank — the hammer-insert workload of
-/// Bender–Hu [18] (rank 0 = always-new-smallest).
+/// Bender–Hu \[18\] (rank 0 = always-new-smallest).
 pub fn hammer_inserts(n: usize, rank: usize) -> Workload {
     let ops = (0..n).map(|len| Op::Insert(rank.min(len))).collect();
     Workload::new(format!("hammer(n={n},rank={rank})"), ops)

@@ -1,36 +1,46 @@
-//! A PMA-backed ordered key-value index with range scans — the database
-//! motivation the paper opens with (list labeling was proposed for database
-//! indexing at PODS'99; packed-memory arrays power cache-friendly indexes
-//! because a range scan is a contiguous memory sweep).
+//! A PMA-backed ordered key-value index with bulk loading and cursor
+//! scans — the database motivation the paper opens with (list labeling was
+//! proposed for database indexing at PODS'99; packed-memory arrays power
+//! cache-friendly indexes because a range scan is a contiguous memory
+//! sweep).
 //!
-//! [`LabelMap`] is the library's index front-end: a keyed sorted map that
-//! keeps keys physically sorted in one slot array, growing on demand. We
-//! ingest a bulk-load-heavy workload (interleaved sorted runs — the
-//! pattern that punishes non-adaptive structures) into the classical PMA
-//! backend and the layered structure of Corollary 11 and compare move
-//! costs; the map's `total_moves()` surfaces the paper's cost model.
+//! [`LabelMap`] is the library's index front-end. This example exercises
+//! the two ingest regimes a real index sees:
+//!
+//! * **Bulk load** — a pre-sorted base table enters through
+//!   [`LabelMap::from_sorted_iter`]: one evenly-spread sweep, one move per
+//!   row, O(n) total, instead of n point insertions at O(polylog n) each.
+//! * **Sorted delta merges** — later sorted runs land via `extend`, which
+//!   detects sortedness and merges each run of new keys into its gap as a
+//!   single backend splice.
+//!
+//! Scans use a [`MapCursor`](lll_api::MapCursor): seek once (one binary
+//! search), then walk the slot array's occupancy structure label-to-label —
+//! no rank→label re-resolution per step.
 //!
 //! Run with: `cargo run --release --example database_index`
 
 use layered_list_labeling::prelude::*;
 
-/// Bulk-ingest: sorted runs of keys, interleaved — the classic index
-/// bulk-load pattern.
-fn workload(n_runs: usize, run_len: usize) -> Vec<u64> {
-    let mut keys = Vec::new();
-    for run in 0..n_runs {
-        for i in 0..run_len {
-            // each run is ascending, runs interleave in key space
-            keys.push((i * n_runs + run) as u64 * 10);
-        }
-    }
-    keys
+/// The delta pattern that punishes non-adaptive structures: each run is
+/// sorted, but runs interleave in key space.
+fn delta_run(run: usize, n_runs: usize, run_len: usize) -> Vec<(u64, String)> {
+    (0..run_len)
+        .map(|i| {
+            let k = (i * n_runs + run) as u64 * 10;
+            (k, format!("row-{k}"))
+        })
+        .collect()
 }
 
-fn ingest(backend: Backend, keys: &[u64]) -> LabelMap<u64, String> {
+fn ingest(backend: Backend, n_runs: usize, run_len: usize) -> LabelMap<u64, String> {
+    // Base table: the first run, bulk-loaded in one sweep.
     let mut idx: LabelMap<u64, String> = ListBuilder::new().backend(backend).seed(7).label_map();
-    for &k in keys {
-        idx.insert(k, format!("row-{k}"));
+    idx.extend_sorted(delta_run(0, n_runs, run_len));
+    // Delta merges: each later sorted run lands through the bulk-aware
+    // `extend` (sorted input is detected and spliced gap-by-gap).
+    for run in 1..n_runs {
+        idx.extend(delta_run(run, n_runs, run_len));
     }
     idx
 }
@@ -38,12 +48,11 @@ fn ingest(backend: Backend, keys: &[u64]) -> LabelMap<u64, String> {
 fn main() {
     let n_runs = 16;
     let run_len = 512;
-    let keys = workload(n_runs, run_len);
-    let n = keys.len();
-    println!("ingesting {n} keys in {n_runs} interleaved sorted runs\n");
+    let n = n_runs * run_len;
+    println!("ingesting {n} keys: one bulk-loaded base run + {} sorted delta merges\n", n_runs - 1);
 
-    let idx_classic = ingest(Backend::Classic, &keys);
-    let idx_layered = ingest(Backend::Corollary11, &keys);
+    let idx_classic = ingest(Backend::Classic, n_runs, run_len);
+    let idx_layered = ingest(Backend::Corollary11, n_runs, run_len);
 
     println!("ingest cost (element moves, growth rebuilds included):");
     println!(
@@ -57,22 +66,47 @@ fn main() {
         idx_layered.total_moves() as f64 / n as f64
     );
 
-    // Point lookups and range scans behave identically on both.
+    // And the all-at-once regime: the whole table pre-sorted, one sweep.
+    let all: Vec<(u64, String)> = {
+        let mut rows: Vec<(u64, String)> =
+            (0..n_runs).flat_map(|r| delta_run(r, n_runs, run_len)).collect();
+        rows.sort_by_key(|&(k, _)| k);
+        rows
+    };
+    let bulk_all = LabelMap::from_sorted_iter(all);
+    println!(
+        "  one-sweep load: {:>9} total  ({:.2}/insert)  — from_sorted_iter, O(n)",
+        bulk_all.total_moves(),
+        bulk_all.total_moves() as f64 / n as f64
+    );
+
+    // Point lookups behave identically on every construction path.
     assert_eq!(idx_classic.get(&170).map(String::as_str), Some("row-170"));
     assert_eq!(idx_layered.get(&170).map(String::as_str), Some("row-170"));
+    assert_eq!(bulk_all.get(&170).map(String::as_str), Some("row-170"));
     assert_eq!(idx_classic.get(&171), None);
 
-    let scan: Vec<(u64, &str)> =
-        idx_layered.range(100..400).map(|(k, v)| (*k, v.as_str())).collect();
-    println!("\nrange scan [100, 400): {} rows", scan.len());
+    // Range scan via a cursor: seek to the lower bound once, then walk the
+    // physical array — each step is one occupancy query.
+    let mut cur = idx_layered.cursor_at(&100);
+    let mut scan: Vec<(u64, &str)> = Vec::new();
+    while let Some((&k, v)) = cur.entry() {
+        if k >= 400 {
+            break;
+        }
+        scan.push((k, v.as_str()));
+        cur.move_next();
+    }
+    println!("\ncursor scan [100, 400): {} rows", scan.len());
     for (k, v) in scan.iter().take(5) {
         println!("  {k:>5} -> {v}");
     }
+
+    // The cursor scan agrees with the rank-addressed range iterator, on
+    // every backend.
+    let scan_iter: Vec<u64> = idx_layered.range(100..400).map(|(k, _)| *k).collect();
+    assert_eq!(scan.iter().map(|(k, _)| *k).collect::<Vec<_>>(), scan_iter);
     let scan_c: Vec<u64> = idx_classic.range(100..400).map(|(k, _)| *k).collect();
-    assert_eq!(
-        scan.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
-        scan_c,
-        "both indexes must return identical scans"
-    );
-    println!("\nscan results identical across backends ✓");
+    assert_eq!(scan_iter, scan_c, "all indexes must return identical scans");
+    println!("\ncursor scan ≡ range scan, identical across backends ✓");
 }

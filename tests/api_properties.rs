@@ -204,3 +204,179 @@ proptest! {
         check_ordered_list(Backend::Corollary11, &ops);
     }
 }
+
+/// Bulk-load ≡ one-at-a-time insertion: identical keys, identical
+/// iteration order, and the bulk path never performs more element moves.
+fn check_bulk_load_equivalence(backend: Backend, raw: &[(u16, u32)]) {
+    let mut sorted: Vec<(u16, u32)> = raw.to_vec();
+    sorted.sort_by_key(|e| e.0);
+    sorted.dedup_by_key(|e| e.0);
+    let mut bulk: LabelMap<u16, u32> = ListBuilder::new().backend(backend).seed(0xB17).label_map();
+    bulk.extend(sorted.iter().copied()); // sorted input takes the bulk path
+    let mut inc: LabelMap<u16, u32> = ListBuilder::new().backend(backend).seed(0xB17).label_map();
+    for &(k, v) in &sorted {
+        inc.insert(k, v);
+    }
+    assert_eq!(bulk.len(), inc.len(), "[{}] bulk/incremental len diverged", backend.name());
+    assert!(
+        bulk.iter().eq(inc.iter()),
+        "[{}] bulk/incremental iteration order diverged",
+        backend.name()
+    );
+    assert!(
+        bulk.total_moves() <= inc.total_moves(),
+        "[{}] bulk load moved more: {} > {}",
+        backend.name(),
+        bulk.total_moves(),
+        inc.total_moves()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// The bulk-load path is observationally identical to one-at-a-time
+    /// insertion — and no more expensive — on every backend.
+    #[test]
+    fn bulk_load_equals_incremental_on_every_backend(
+        raw in proptest::collection::vec((any::<u16>(), any::<u32>()), 1..400)
+    ) {
+        for backend in Backend::ALL {
+            check_bulk_load_equivalence(backend, &raw);
+        }
+    }
+}
+
+/// A full cursor walk (both directions) agrees with `iter()` after random
+/// churn, on every backend.
+fn check_cursor_walk_equivalence(backend: Backend, ops: &[Op]) {
+    let mut ol: OrderedList<u64> =
+        ListBuilder::new().backend(backend).seed(0xC0).initial_capacity(16).ordered_list();
+    for (i, &op) in ops.iter().enumerate() {
+        match op {
+            Op::Insert(r) => {
+                ol.insert_at(r, i as u64);
+            }
+            Op::Delete(r) => {
+                let h = ol.handle_at_rank(r);
+                ol.remove(h);
+            }
+        }
+    }
+    let via_iter: Vec<(Handle, u64)> = ol.iter().map(|(h, v)| (h, *v)).collect();
+    let mut forward = Vec::with_capacity(via_iter.len());
+    let mut cur = ol.cursor_front();
+    while let Some((h, v)) = cur.current() {
+        forward.push((h, *v));
+        cur.move_next();
+    }
+    assert_eq!(forward, via_iter, "[{}] forward cursor walk diverged", backend.name());
+    let mut backward = Vec::with_capacity(via_iter.len());
+    let mut cur = ol.cursor_back();
+    while let Some((h, v)) = cur.current() {
+        backward.push((h, *v));
+        cur.move_prev();
+    }
+    backward.reverse();
+    assert_eq!(backward, via_iter, "[{}] backward cursor walk diverged", backend.name());
+    // A map cursor agrees with the map's iterator under the same churn.
+    let mut map: LabelMap<u64, u64> = ListBuilder::new().backend(backend).seed(0xC1).label_map();
+    for (i, &op) in ops.iter().enumerate() {
+        match op {
+            Op::Insert(r) => {
+                map.insert((r as u64) << 16 | i as u64, i as u64);
+            }
+            Op::Delete(r) => {
+                if !map.is_empty() {
+                    let k = *map.key_at_rank(r % map.len());
+                    map.remove(&k);
+                }
+            }
+        }
+    }
+    let mut walked = Vec::with_capacity(map.len());
+    let mut cur = map.cursor_front();
+    while let Some((k, v)) = cur.entry() {
+        walked.push((*k, *v));
+        cur.move_next();
+    }
+    assert!(
+        walked.iter().copied().eq(map.iter().map(|(k, v)| (*k, *v))),
+        "[{}] map cursor walk diverged",
+        backend.name()
+    );
+}
+
+#[test]
+fn cursor_walks_match_iteration_under_churn_on_every_backend() {
+    for backend in Backend::ALL {
+        check_cursor_walk_equivalence(backend, &grow_shrink_ops(400, 0xCC + backend as u64));
+    }
+}
+
+/// A full cursor walk performs **zero** rank→label resolutions: the cursor
+/// steps through the occupancy structure, never re-deriving position from
+/// rank. Pinned via the backend's [`rank_resolutions`] counter on a
+/// statically dispatched backend.
+///
+/// [`rank_resolutions`]: layered_list_labeling::core::growable::Growable::rank_resolutions
+#[test]
+fn cursor_walk_does_no_rank_resolution() {
+    use layered_list_labeling::classic::ClassicBuilder;
+
+    let n = 10_000u32;
+    let mut ol = OrderedList::with_backend(ListBuilder::new().build_growable(ClassicBuilder));
+    for i in 0..n {
+        ol.insert_at(ol.len(), i);
+    }
+    let before = ol.backend().rank_resolutions();
+    let mut cur = ol.cursor_front();
+    let mut walked = 0usize;
+    while cur.current().is_some() {
+        walked += 1;
+        cur.move_next();
+    }
+    assert_eq!(walked, n as usize);
+    assert_eq!(ol.backend().rank_resolutions(), before, "cursor walk resolved rank→label mid-walk");
+    // The rank-addressed equivalent pays one resolution per step.
+    let h = ol.handle_at_rank(0);
+    let _ = ol.rank(h);
+    assert!(ol.backend().rank_resolutions() > before, "counter is live");
+}
+
+/// ISSUE 2 acceptance: a 100k-key pre-sorted bulk load performs strictly
+/// fewer total element moves than the same keys inserted one at a time.
+///
+/// The bulk side runs `from_sorted_iter` on the **default** layered
+/// backend and lands in O(n): one move per element. The one-at-a-time side
+/// runs on the adaptive backend — the workspace's cheapest structure for a
+/// sorted (append-only) ingest; the default backend pays strictly more
+/// moves per point insert than adaptive on this workload (see
+/// `label_map::tests::from_sorted_iter_matches_btreemap_with_fewer_moves`
+/// for the same-backend comparison at smaller n), so beating adaptive
+/// beats every incremental configuration.
+#[test]
+fn acceptance_bulk_load_100k_strictly_fewer_moves() {
+    let n = 100_000u64;
+    let bulk: LabelMap<u64, u64> = LabelMap::from_sorted_iter((0..n).map(|k| (k, k * 3)));
+    assert_eq!(bulk.len() as u64, n);
+    assert!(
+        bulk.total_moves() <= 2 * n,
+        "bulk load is not O(n): {} moves for {n} keys",
+        bulk.total_moves()
+    );
+    let mut inc: LabelMap<u64, u64> = ListBuilder::new().backend(Backend::Adaptive).label_map();
+    for k in 0..n {
+        inc.insert(k, k * 3);
+    }
+    assert!(
+        bulk.total_moves() < inc.total_moves(),
+        "bulk {} !< one-at-a-time {}",
+        bulk.total_moves(),
+        inc.total_moves()
+    );
+    assert_eq!(bulk.len(), inc.len());
+    for k in (0..n).step_by(9973) {
+        assert_eq!(bulk.get(&k), inc.get(&k), "content diverged at {k}");
+    }
+}
