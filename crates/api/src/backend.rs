@@ -309,7 +309,10 @@ impl ListBuilder {
     /// [`LabelMap`](crate::LabelMap) sit on.
     pub fn build(&self) -> ErasedList {
         let cap = self.initial_capacity;
-        let inner: Box<dyn RawList> = match self.backend {
+        // Each arm's unsize coercion doubles as a compile-time proof that
+        // every selectable backend is `Send + Sync` — a non-thread-safe
+        // regression in any algorithm crate fails right here.
+        let inner: Box<dyn RawList + Send + Sync> = match self.backend {
             Backend::Classic => Box::new(Growable::new(ClassicBuilder, cap)),
             Backend::Deamortized => Box::new(Growable::new(DeamortizedBuilder::default(), cap)),
             Backend::Randomized => Box::new(Growable::new(
@@ -327,7 +330,7 @@ impl ListBuilder {
     /// behind the paper-shaped [`ListLabeling`] trait — for callers that
     /// know `n` and want the theory-level interface (move logs, slot
     /// arrays, cost accounting) without naming a concrete type.
-    pub fn build_fixed(&self, capacity: usize) -> Box<dyn ListLabeling> {
+    pub fn build_fixed(&self, capacity: usize) -> Box<dyn ListLabeling + Send + Sync> {
         match self.backend {
             Backend::Classic => Box::new(ClassicBuilder.build_default(capacity)),
             Backend::Deamortized => Box::new(DeamortizedBuilder::default().build_default(capacity)),
@@ -368,8 +371,11 @@ impl ListBuilder {
 /// A dynamically sized list-labeling backend with the algorithm erased —
 /// the default backend type of [`OrderedList`](crate::OrderedList) and
 /// [`LabelMap`](crate::LabelMap). Build one with [`ListBuilder::build`].
+///
+/// The boxed trait object is `Send + Sync`, so erased containers can move
+/// across threads and sit behind locks (see the `lll-sharded` crate).
 pub struct ErasedList {
-    inner: Box<dyn RawList>,
+    inner: Box<dyn RawList + Send + Sync>,
 }
 
 impl ErasedList {

@@ -268,6 +268,82 @@ impl<K: Ord, V, L: RawList> LabelMap<K, V, L> {
         })
     }
 
+    /// Remove and return the smallest entry.
+    pub fn pop_first(&mut self) -> Option<(K, V)> {
+        if self.is_empty() {
+            return None;
+        }
+        let (h, _) = self.list.delete_reported(0);
+        self.entry.remove(&h)
+    }
+
+    /// Remove and return the largest entry.
+    pub fn pop_last(&mut self) -> Option<(K, V)> {
+        if self.is_empty() {
+            return None;
+        }
+        let (h, _) = self.list.delete_reported(self.len() - 1);
+        self.entry.remove(&h)
+    }
+
+    /// Remove every entry, keeping the backend (and its cost counters)
+    /// alive. Deletions run back-to-front — removal is free in the paper's
+    /// cost model, so this is O(n) plus at most O(n) shrink-rebuild moves.
+    pub fn clear(&mut self) {
+        while !self.is_empty() {
+            let (h, _) = self.list.delete_reported(self.len() - 1);
+            self.entry.remove(&h);
+        }
+    }
+
+    /// Consume the map into its entries, sorted ascending by key — the
+    /// shard **export** hook: the receiving side replays the run through
+    /// [`from_sorted_iter`](LabelMap::from_sorted_iter) /
+    /// [`extend_sorted`](LabelMap::extend_sorted) in one O(n) sweep.
+    pub fn into_sorted_vec(self) -> Vec<(K, V)> {
+        self.into_iter().collect()
+    }
+
+    /// Drain the entries of ranks `at..len` (the upper part of the key
+    /// space), returning them sorted ascending. The retained prefix keeps
+    /// its handles and layout. This is the shard **split** hook: the caller
+    /// lands the returned run in a fresh map via
+    /// [`extend_sorted`](LabelMap::extend_sorted), making a split O(shard)
+    /// total.
+    ///
+    /// Panics if `at > len`.
+    pub fn split_off_at_rank(&mut self, at: usize) -> Vec<(K, V)> {
+        assert!(at <= self.len(), "split_off_at_rank {at} > len {}", self.len());
+        let mut tail = Vec::with_capacity(self.len() - at);
+        while self.len() > at {
+            let (h, _) = self.list.delete_reported(at);
+            tail.push(self.entry.remove(&h).expect("entry for live handle"));
+        }
+        tail
+    }
+
+    /// Drain every entry with key ≥ `key`, returning them sorted ascending
+    /// (the key-addressed form of
+    /// [`split_off_at_rank`](Self::split_off_at_rank), shaped like
+    /// `BTreeMap::split_off`).
+    pub fn split_off<Q>(&mut self, key: &Q) -> Vec<(K, V)>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let at = self.lower_bound(key);
+        self.split_off_at_rank(at)
+    }
+
+    /// Move every entry of `other` into `self`, leaving `other` empty — the
+    /// shard **merge** hook. Runs of `other`'s keys that fall between
+    /// `self`'s keys land as single backend splices (equal keys replace the
+    /// value, last write wins, as with sequential inserts).
+    pub fn append<M: RawList>(&mut self, other: &mut LabelMap<K, V, M>) {
+        let drained = other.split_off_at_rank(0);
+        self.extend_sorted(drained);
+    }
+
     /// Iterate the entries with keys in `range`, in ascending key order —
     /// physically, a left-to-right sweep of the backend's slot array. The
     /// bounds accept any borrowed form of the key type.
@@ -703,6 +779,41 @@ mod tests {
         assert_eq!(owned, by_ref);
         assert_eq!(owned.len(), 10);
         assert!(owned.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn pop_clear_and_export_hooks() {
+        let mut map = LabelMap::from_sorted_iter((0..100u32).map(|k| (k, k * 3)));
+        assert_eq!(map.pop_first(), Some((0, 0)));
+        assert_eq!(map.pop_last(), Some((99, 297)));
+        assert_eq!(map.len(), 98);
+        // split_off drains the suffix sorted, keeping the prefix intact.
+        let tail = map.split_off(&50);
+        assert_eq!(tail.first(), Some(&(50, 150)));
+        assert_eq!(tail.last(), Some(&(98, 294)));
+        assert!(tail.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(map.len(), 49);
+        assert_eq!(map.last_key_value(), Some((&49, &147)));
+        // append moves everything back (bulk path), last write wins.
+        let mut other = LabelMap::from_sorted_iter(tail);
+        other.insert(10, 9999); // overlaps the retained prefix
+        map.append(&mut other);
+        assert!(other.is_empty());
+        assert_eq!(map.len(), 98);
+        assert_eq!(map.get(&10), Some(&9999));
+        assert_eq!(map.get(&98), Some(&294));
+        // into_sorted_vec is the full export.
+        let dump = map.into_sorted_vec();
+        assert_eq!(dump.len(), 98);
+        assert!(dump.windows(2).all(|w| w[0].0 < w[1].0));
+        // clear empties but keeps the map usable.
+        let mut map = LabelMap::from_sorted_iter((0..500u32).map(|k| (k, ())));
+        map.clear();
+        assert!(map.is_empty());
+        assert_eq!(map.pop_first(), None);
+        assert_eq!(map.pop_last(), None);
+        map.insert(7, ());
+        assert_eq!(map.len(), 1);
     }
 
     #[test]

@@ -49,3 +49,33 @@ pub use ordered_list::OrderedList;
 // depending on lll-core directly.
 pub use lll_core::growable::{GrowableStats, Handle};
 pub use lll_core::report::{BulkReport, MoveRec, OpReport};
+
+/// Compile-time thread-safety audit: every backend and both containers
+/// must stay `Send + Sync` — the `lll-sharded` façade parks them behind
+/// `RwLock`s and hands references across threads. A `Rc`/raw-pointer
+/// regression anywhere in the stack fails this function's type-checking
+/// (and the unsize coercions in [`ListBuilder::build`]) at build time,
+/// not in a flaky threaded test.
+#[allow(dead_code)]
+fn assert_thread_safe() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    use lll_core::growable::Growable;
+    // The four directly nameable algorithm backends…
+    assert_send_sync::<Growable<lll_classic::ClassicBuilder>>();
+    assert_send_sync::<Growable<lll_deamortized::DeamortizedBuilder>>();
+    assert_send_sync::<Growable<lll_randomized::RandomizedBuilder>>();
+    assert_send_sync::<Growable<lll_adaptive::AdaptiveBuilder>>();
+    // …the Corollary 11 layered composition (Corollary 12's is covered by
+    // the coercion in `ListBuilder::build`, its builder type is private)…
+    fn assert_growable_builder<B: lll_core::traits::LabelingBuilder>(_: &B)
+    where
+        Growable<B>: Send + Sync,
+    {
+    }
+    let _ = |seed: u64| assert_growable_builder(&lll_embedding::layered::corollary11_builder(seed));
+    // …and the erased form plus both containers on top of it.
+    assert_send_sync::<ErasedList>();
+    assert_send_sync::<LabelMap<String, Vec<u8>>>();
+    assert_send_sync::<OrderedList<String>>();
+    assert_send_sync::<label_map::IntoIter<String, Vec<u8>>>();
+}

@@ -318,6 +318,13 @@ impl<V, L: RawList> OrderedList<V, L> {
         Some((h, v))
     }
 
+    /// Remove every element, invalidating all handles. The backend (and its
+    /// cost counters) stays alive; deletions run back-to-front, so this is
+    /// O(n) plus at most O(n) shrink-rebuild moves.
+    pub fn clear(&mut self) {
+        while self.pop_back().is_some() {}
+    }
+
     /// Iterate `(handle, &value)` in list order.
     pub fn iter(&self) -> Iter<'_, V> {
         let snap: Vec<Handle> = self.list.labels_snapshot().iter().map(|&(h, _)| h).collect();

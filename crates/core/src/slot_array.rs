@@ -84,9 +84,13 @@ impl SlotArray {
     /// Panics if `rank >= len`.
     #[inline]
     pub fn select(&self, rank: usize) -> usize {
-        self.occ
-            .select(rank as u64)
-            .unwrap_or_else(|| panic!("rank {rank} out of range (len {})", self.len()))
+        self.occ.select(rank as u64).unwrap_or_else(|| {
+            panic!(
+                "select: rank {rank} out of range ({} occupied of {} slots)",
+                self.len(),
+                self.num_slots()
+            )
+        })
     }
 
     /// Rank of the element at `pos` (number of elements strictly before it).
@@ -115,8 +119,10 @@ impl SlotArray {
     pub fn place(&mut self, pos: usize, elem: ElemId) {
         assert!(
             self.contents[pos].is_none(),
-            "place into occupied slot {pos} ({:?})",
-            self.contents[pos]
+            "place into occupied slot {pos} ({:?}; {} occupied of {} slots)",
+            self.contents[pos],
+            self.len(),
+            self.num_slots()
         );
         self.contents[pos] = Some(elem);
         self.occ.add(pos, 1);
@@ -127,8 +133,13 @@ impl SlotArray {
     /// Remove and return the element at `pos`. Cost 0 (removal is not a
     /// move in the paper's cost model).
     pub fn remove(&mut self, pos: usize) -> ElemId {
-        let elem =
-            self.contents[pos].take().unwrap_or_else(|| panic!("remove from empty slot {pos}"));
+        let elem = self.contents[pos].take().unwrap_or_else(|| {
+            panic!(
+                "remove from empty slot {pos} ({} occupied of {} slots)",
+                self.len(),
+                self.num_slots()
+            )
+        });
         self.occ.add(pos, -1);
         elem
     }
@@ -142,12 +153,19 @@ impl SlotArray {
             let elem = self.contents[from].expect("move from empty slot");
             return elem;
         }
-        let elem =
-            self.contents[from].take().unwrap_or_else(|| panic!("move from empty slot {from}"));
+        let elem = self.contents[from].take().unwrap_or_else(|| {
+            panic!(
+                "move {from}->{to} from empty slot ({} occupied of {} slots)",
+                self.len(),
+                self.num_slots()
+            )
+        });
         assert!(
             self.contents[to].is_none(),
-            "move into occupied slot {to} ({:?})",
-            self.contents[to]
+            "move into occupied slot {to} ({:?}; {} occupied of {} slots)",
+            self.contents[to],
+            self.len(),
+            self.num_slots()
         );
         debug_assert!(
             {

@@ -1,0 +1,63 @@
+//! # lll-sharded — a concurrent sharded map over per-shard rebalance domains
+//!
+//! [`LabelMap`](lll_api::LabelMap) is single-writer: every insert may
+//! rebalance the one slot array all keys share. The layered structures keep
+//! that rebalance cost low *per structure*, so the natural way to scale
+//! writers is to partition the key space into **independent rebalance
+//! domains**: [`ShardedMap`] splits the keys across many `LabelMap` shards
+//! (each its own `Growable` doubling domain) behind per-shard `RwLock`s,
+//! with a directory of split keys deciding which shard owns which key.
+//!
+//! * **Point operations** (`insert` / `get` / `get_mut_with` / `remove` /
+//!   `contains_key`) take the directory lock shared plus exactly **one**
+//!   shard lock — writers on different shards never contend.
+//! * **Range scans** and full iteration stitch per-shard sweeps in key
+//!   order, locking one shard at a time.
+//! * **Splits and merges** keep shards inside a size band: both are bulk
+//!   moves over the `splice` path added in PR 2
+//!   ([`LabelMap::split_off_at_rank`](lll_api::LabelMap::split_off_at_rank)
+//!   exports the upper half sorted, `extend_sorted` lands it in one O(shard)
+//!   sweep), so re-sharding costs O(shard), not O(n · polylog n).
+//!
+//! ```
+//! use lll_sharded::ShardedBuilder;
+//! use std::sync::Arc;
+//! use std::thread;
+//!
+//! let map = Arc::new(ShardedBuilder::new().max_shard_len(256).build::<u64, u64>());
+//! thread::scope(|s| {
+//!     for t in 0..4u64 {
+//!         let map = Arc::clone(&map);
+//!         s.spawn(move || {
+//!             for i in 0..500u64 {
+//!                 map.insert(i * 4 + t, i); // disjoint stripes, 4 writers
+//!             }
+//!         });
+//!     }
+//! });
+//! assert_eq!(map.len(), 2000);
+//! assert!(map.stats().shards > 1, "growth should have split the key space");
+//! ```
+//!
+//! Lock order is strict — directory before shard, one shard at a time —
+//! and structural changes (split/merge) take the directory lock
+//! exclusively, which by construction waits out every in-flight point
+//! operation. See `docs/sharding.md` in the repository root for the full
+//! runbook (policy knobs, lock order, split/merge invariants).
+
+mod builder;
+mod map;
+
+pub use builder::ShardedBuilder;
+pub use map::{ShardPolicy, ShardedMap, ShardedStats};
+
+// Compile-time thread-safety audit, mirroring `lll-api`'s: the whole point
+// of this crate is to be shared across threads.
+#[allow(dead_code)]
+fn assert_thread_safe() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ShardedMap<u64, String>>();
+    assert_send_sync::<ShardedMap<String, Vec<u8>>>();
+    assert_send_sync::<ShardedStats>();
+    assert_send_sync::<ShardedBuilder>();
+}

@@ -1,0 +1,791 @@
+//! [`ShardedMap`]: the concurrent façade over per-shard list-labeling
+//! domains.
+//!
+//! # Locking protocol
+//!
+//! Two lock levels, acquired in one fixed order — **directory, then at most
+//! one shard** — and never the reverse:
+//!
+//! * The **directory lock** (`RwLock<Directory>`) guards the split-key
+//!   table and the shard vector. Point operations and scans take it
+//!   *shared*; only structural maintenance (split/merge) takes it
+//!   *exclusive*.
+//! * Each **shard lock** (`RwLock<LabelMap>`) guards one rebalance domain.
+//!   A point operation locks exactly the shard that owns its key; scans
+//!   lock shards one at a time, left to right, releasing each before the
+//!   next.
+//!
+//! Because shard guards only ever live under a shared directory guard,
+//! acquiring the directory exclusively is itself a barrier: once granted,
+//! no thread holds any shard lock, and maintenance may restructure freely
+//! with plain `&mut` access. No operation ever holds two shard locks, so
+//! there is no lock-ordering cycle anywhere in the crate.
+
+use lll_api::{LabelMap, ListBuilder, RawList};
+use lll_core::rng::derive_seed;
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::{Bound, RangeBounds};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Shared-lock acquisition that survives a poisoned lock: the maps hold no
+/// invariant that a panicking reader could have broken mid-flight, and a
+/// panicking *writer* aborts the whole differential test run anyway — so
+/// recovery beats cascading poison panics across unrelated threads.
+fn rlock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Exclusive-lock counterpart of [`rlock`].
+fn wlock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Lock-free access to a shard through an exclusive directory guard.
+fn shard_mut<K: Ord, V>(shard: &mut RwLock<LabelMap<K, V>>) -> &mut LabelMap<K, V> {
+    shard.get_mut().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The size band shards are kept inside, plus the shard-count ceiling.
+///
+/// Invariants enforced by [`ShardedBuilder`](crate::ShardedBuilder):
+/// `min_shard_len <= max_shard_len / 4`, so a freshly split half
+/// (`> max/2`) is never immediately merge-eligible and a freshly merged
+/// shard (`<= max`) is never immediately split-eligible — maintenance
+/// always terminates.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardPolicy {
+    /// Split a shard once it exceeds this many entries (and the shard
+    /// count is still below [`max_shards`](Self::max_shards)).
+    pub max_shard_len: usize,
+    /// Merge a shard into a neighbor once it falls below this many entries
+    /// (if the combined shard stays within
+    /// [`max_shard_len`](Self::max_shard_len)).
+    pub min_shard_len: usize,
+    /// Hard ceiling on the number of shards.
+    pub max_shards: usize,
+}
+
+/// The split-key table: `shards[i]` owns keys `k` with
+/// `bounds[i-1] <= k < bounds[i]` (shard 0 unbounded below, the last shard
+/// unbounded above). Always `shards.len() == bounds.len() + 1`.
+struct Directory<K: Ord, V> {
+    bounds: Vec<K>,
+    shards: Vec<RwLock<LabelMap<K, V>>>,
+}
+
+impl<K: Ord, V> Directory<K, V> {
+    /// The index of the shard owning `key` — a binary search of the split
+    /// keys, no shard locks taken.
+    fn locate<Q>(&self, key: &Q) -> usize
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.bounds.partition_point(|b| b.borrow() <= key)
+    }
+}
+
+/// A thread-safe sorted map that partitions its key space across
+/// independent [`LabelMap`] shards — each one its own rebalance domain —
+/// behind per-shard `RwLock`s.
+///
+/// Construct one with [`ShardedBuilder`](crate::ShardedBuilder). All
+/// methods take `&self`; share the map across threads with `Arc` (or
+/// scoped threads). See the [crate docs](crate) for the locking protocol
+/// and `docs/sharding.md` for the operational runbook.
+pub struct ShardedMap<K: Ord + Clone, V> {
+    dir: RwLock<Directory<K, V>>,
+    builder: ListBuilder,
+    seed: u64,
+    policy: ShardPolicy,
+    /// Monotone per-map shard counter: each shard's backend gets an
+    /// independent random tape derived from (seed, sequence number).
+    shard_seq: AtomicU64,
+    splits: AtomicU64,
+    merges: AtomicU64,
+    /// Element moves accumulated by shard backends that splits/merges have
+    /// since retired — folded into [`stats`](Self::stats) so the cost
+    /// accounting (the paper's move model) never loses history.
+    retired_moves: AtomicU64,
+}
+
+/// A point-in-time aggregate snapshot of a [`ShardedMap`] (see
+/// [`ShardedMap::stats`]).
+#[derive(Clone, Debug)]
+pub struct ShardedStats {
+    /// Number of shards.
+    pub shards: usize,
+    /// Total entries across shards.
+    pub len: usize,
+    /// Total element moves across all shard backends, including the moves
+    /// accumulated by backends that splits/merges have since retired (the
+    /// paper's cost model, summed over rebalance domains — monotone over
+    /// the map's lifetime).
+    pub total_moves: u64,
+    /// Shard splits performed since construction.
+    pub splits: u64,
+    /// Shard merges performed since construction.
+    pub merges: u64,
+    /// Per-shard entry counts, in key order.
+    pub shard_lens: Vec<usize>,
+    /// Per-shard backend capacities, in key order (`shard_lens[i] /
+    /// shard_capacities[i]` is shard `i`'s occupancy).
+    pub shard_capacities: Vec<usize>,
+}
+
+impl fmt::Display for ShardedStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} entries in {} shards (splits {}, merges {}, {} total moves)",
+            self.len, self.shards, self.splits, self.merges, self.total_moves
+        )
+    }
+}
+
+impl<K: Ord + Clone, V> ShardedMap<K, V> {
+    /// A shell with no shards at all — only valid as an intermediate while
+    /// a constructor installs the real directory.
+    fn shell(builder: ListBuilder, seed: u64, policy: ShardPolicy) -> Self {
+        Self {
+            dir: RwLock::new(Directory { bounds: Vec::new(), shards: Vec::new() }),
+            builder,
+            seed,
+            policy,
+            shard_seq: AtomicU64::new(0),
+            splits: AtomicU64::new(0),
+            merges: AtomicU64::new(0),
+            retired_moves: AtomicU64::new(0),
+        }
+    }
+
+    /// Build an empty map: one shard, no split keys. Splitting is
+    /// data-driven from there. Called by
+    /// [`ShardedBuilder`](crate::ShardedBuilder).
+    pub(crate) fn new(builder: ListBuilder, seed: u64, policy: ShardPolicy) -> Self {
+        let mut map = Self::shell(builder, seed, policy);
+        let first = map.fresh_shard();
+        map.dir.get_mut().expect("fresh lock").shards.push(RwLock::new(first));
+        map
+    }
+
+    /// Build a map pre-sharded from entries sorted ascending by key: the
+    /// run is cut into half-full chunks, each bulk-loaded into its own
+    /// fresh shard in one O(chunk) sweep — a true O(n) import, no split
+    /// cascade. Panics if the keys are not ascending (equal adjacent keys
+    /// collapse, last write wins, as in [`LabelMap::from_sorted_iter`]).
+    pub(crate) fn from_sorted(
+        builder: ListBuilder,
+        seed: u64,
+        policy: ShardPolicy,
+        mut entries: Vec<(K, V)>,
+    ) -> Self {
+        assert!(
+            entries.windows(2).all(|w| w[0].0.cmp(&w[1].0).is_le()),
+            "from_sorted requires keys in ascending order"
+        );
+        // Dedup before chunking so equal keys never straddle a split key.
+        entries.dedup_by(|next, kept| {
+            if next.0.cmp(&kept.0).is_eq() {
+                std::mem::swap(next, kept);
+                true
+            } else {
+                false
+            }
+        });
+        let mut map = Self::shell(builder, seed, policy);
+        // Half-full shards: room to grow before splitting, full enough not
+        // to merge. Respect the shard-count ceiling by growing the chunk
+        // size if the run is enormous.
+        let per_shard =
+            (policy.max_shard_len / 2).max(entries.len().div_ceil(policy.max_shards)).max(1);
+        let mut chunks = Vec::with_capacity(entries.len() / per_shard + 1);
+        while entries.len() > per_shard {
+            let rest = entries.split_off(per_shard);
+            chunks.push(std::mem::replace(&mut entries, rest));
+        }
+        chunks.push(entries);
+        let mut bounds = Vec::with_capacity(chunks.len().saturating_sub(1));
+        let mut shards = Vec::with_capacity(chunks.len());
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            if i > 0 {
+                bounds.push(chunk[0].0.clone());
+            }
+            let mut shard = map.fresh_shard();
+            shard.extend_sorted(chunk);
+            shards.push(RwLock::new(shard));
+        }
+        let dir = map.dir.get_mut().expect("fresh lock");
+        dir.bounds = bounds;
+        dir.shards = shards;
+        map
+    }
+
+    fn fresh_shard(&self) -> LabelMap<K, V> {
+        let seq = self.shard_seq.fetch_add(1, Ordering::Relaxed);
+        self.builder.clone().seed(derive_seed(self.seed, seq)).label_map()
+    }
+
+    /// The policy this map maintains its shards against.
+    pub fn policy(&self) -> ShardPolicy {
+        self.policy
+    }
+
+    /// Total entries — locks each shard briefly, O(#shards). The count is
+    /// a consistent snapshot only if no writer is concurrent.
+    pub fn len(&self) -> usize {
+        let dir = rlock(&self.dir);
+        dir.shards.iter().map(|s| rlock(s).len()).sum()
+    }
+
+    /// True if no entries are stored (same snapshot caveat as
+    /// [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current number of shards.
+    pub fn shard_count(&self) -> usize {
+        rlock(&self.dir).shards.len()
+    }
+
+    /// Insert `key → value`, returning the previous value if the key was
+    /// present. Locks the owning shard exclusively; if the shard overflowed
+    /// the policy band, splits it afterwards (under the exclusive directory
+    /// lock, amortized O(shard) against the inserts that filled it).
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        let (prev, overflow) = {
+            let dir = rlock(&self.dir);
+            let idx = dir.locate(&key);
+            let mut shard = wlock(&dir.shards[idx]);
+            let prev = shard.insert(key, value);
+            // Only trigger maintenance when a split is actually feasible:
+            // at the shard-count ceiling an oversized shard simply keeps
+            // growing (documented degradation), and repeatedly taking the
+            // exclusive directory lock for a no-op would stall every
+            // writer.
+            (
+                prev,
+                shard.len() > self.policy.max_shard_len
+                    && dir.shards.len() < self.policy.max_shards,
+            )
+        };
+        if overflow {
+            self.maintain();
+        }
+        prev
+    }
+
+    /// Remove `key`, returning its value. Locks the owning shard
+    /// exclusively; if the shard underflowed the policy band, merges it
+    /// into a neighbor afterwards.
+    pub fn remove<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let (prev, underflow) = {
+            let dir = rlock(&self.dir);
+            let idx = dir.locate(key);
+            let mut shard = wlock(&dir.shards[idx]);
+            let prev = shard.remove(key);
+            // Trigger only on the exact threshold crossing: a shard stuck
+            // underfull because no neighbor merge fits must not pay (and
+            // inflict) an exclusive-directory-lock round trip on every
+            // subsequent remove. Once a neighbor later shrinks, *its* own
+            // crossing re-runs maintenance, which scans globally and finds
+            // the pair.
+            let crossed = prev.is_some() && shard.len() + 1 == self.policy.min_shard_len;
+            (prev, crossed && dir.shards.len() > 1)
+        };
+        if underflow {
+            self.maintain();
+        }
+        prev
+    }
+
+    /// Read `key`'s value through a borrow, under the owning shard's shared
+    /// lock: `map.get_with(&k, |v| v.summarize())`. Returns `None` if the
+    /// key is absent.
+    pub fn get_with<Q, R>(&self, key: &Q, f: impl FnOnce(&V) -> R) -> Option<R>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let dir = rlock(&self.dir);
+        let shard = rlock(&dir.shards[dir.locate(key)]);
+        shard.get(key).map(f)
+    }
+
+    /// The value of `key`, cloned out of the shard (the lock cannot outlive
+    /// the call; use [`get_with`](Self::get_with) to read in place).
+    pub fn get<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+        V: Clone,
+    {
+        self.get_with(key, V::clone)
+    }
+
+    /// Mutate `key`'s value in place under the owning shard's exclusive
+    /// lock: `map.get_mut_with(&k, |v| *v += 1)`. Returns `None` (without
+    /// running `f`) if the key is absent.
+    pub fn get_mut_with<Q, R>(&self, key: &Q, f: impl FnOnce(&mut V) -> R) -> Option<R>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let dir = rlock(&self.dir);
+        let mut shard = wlock(&dir.shards[dir.locate(key)]);
+        shard.get_mut(key).map(f)
+    }
+
+    /// True if `key` is present.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let dir = rlock(&self.dir);
+        let shard = rlock(&dir.shards[dir.locate(key)]);
+        shard.contains_key(key)
+    }
+
+    /// The smallest entry, cloned.
+    pub fn first_key_value(&self) -> Option<(K, V)>
+    where
+        V: Clone,
+    {
+        let dir = rlock(&self.dir);
+        dir.shards.iter().find_map(|s| {
+            let shard = rlock(s);
+            shard.first_key_value().map(|(k, v)| (k.clone(), v.clone()))
+        })
+    }
+
+    /// The largest entry, cloned.
+    pub fn last_key_value(&self) -> Option<(K, V)>
+    where
+        V: Clone,
+    {
+        let dir = rlock(&self.dir);
+        dir.shards.iter().rev().find_map(|s| {
+            let shard = rlock(s);
+            shard.last_key_value().map(|(k, v)| (k.clone(), v.clone()))
+        })
+    }
+
+    /// Collect the entries with keys in `range`, ascending — per-shard
+    /// contiguous sweeps stitched in key order. Shards are locked **one at
+    /// a time** (each shard's slice is internally consistent; the stitched
+    /// whole is not a single atomic snapshot under concurrent writers).
+    pub fn range<Q, R>(&self, range: R) -> Vec<(K, V)>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+        R: RangeBounds<Q>,
+        V: Clone,
+    {
+        let dir = rlock(&self.dir);
+        if dir.shards.is_empty() {
+            return Vec::new();
+        }
+        let lo = match range.start_bound() {
+            Bound::Included(k) | Bound::Excluded(k) => dir.locate(k),
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(k) | Bound::Excluded(k) => dir.locate(k),
+            Bound::Unbounded => dir.shards.len() - 1,
+        };
+        let mut out = Vec::new();
+        for s in &dir.shards[lo..=hi] {
+            let shard = rlock(s);
+            out.extend(
+                shard
+                    .range((range.start_bound(), range.end_bound()))
+                    .map(|(k, v)| (k.clone(), v.clone())),
+            );
+        }
+        out
+    }
+
+    /// All entries ascending by key — [`range`](Self::range) over
+    /// everything (same shard-at-a-time consistency).
+    pub fn to_vec(&self) -> Vec<(K, V)>
+    where
+        V: Clone,
+    {
+        self.range::<K, _>(..)
+    }
+
+    /// Visit every entry ascending by key without cloning values, one
+    /// shard lock at a time.
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        let dir = rlock(&self.dir);
+        for s in &dir.shards {
+            let shard = rlock(s);
+            for (k, v) in shard.iter() {
+                f(k, v);
+            }
+        }
+    }
+
+    /// Merge entries **sorted ascending by key** in bulk: the batch is cut
+    /// at the split keys and each piece lands in its shard via the O(piece)
+    /// [`LabelMap::extend_sorted`] sweep; overflowing shards are split
+    /// afterwards. Panics if the batch is not ascending.
+    pub fn extend_sorted(&self, mut batch: Vec<(K, V)>) {
+        assert!(
+            batch.windows(2).all(|w| w[0].0.cmp(&w[1].0).is_le()),
+            "extend_sorted requires keys in ascending order"
+        );
+        let mut overflow = false;
+        {
+            let dir = rlock(&self.dir);
+            // Peel per-shard chunks off the tail: bounds walked in reverse
+            // so each split_off detaches exactly the last shard's share.
+            let mut chunks = Vec::with_capacity(dir.shards.len());
+            for b in dir.bounds.iter().rev() {
+                let cut = batch.partition_point(|(k, _)| k < b);
+                chunks.push(batch.split_off(cut));
+            }
+            chunks.push(batch);
+            chunks.reverse();
+            for (i, chunk) in chunks.into_iter().enumerate() {
+                if chunk.is_empty() {
+                    continue;
+                }
+                let mut shard = wlock(&dir.shards[i]);
+                shard.extend_sorted(chunk);
+                overflow |= shard.len() > self.policy.max_shard_len;
+            }
+        }
+        if overflow {
+            self.maintain();
+        }
+    }
+
+    /// Aggregate statistics — one pass over the shards (shared locks, one
+    /// at a time).
+    pub fn stats(&self) -> ShardedStats {
+        let dir = rlock(&self.dir);
+        let mut stats = ShardedStats {
+            shards: dir.shards.len(),
+            len: 0,
+            total_moves: self.retired_moves.load(Ordering::Relaxed),
+            splits: self.splits.load(Ordering::Relaxed),
+            merges: self.merges.load(Ordering::Relaxed),
+            shard_lens: Vec::with_capacity(dir.shards.len()),
+            shard_capacities: Vec::with_capacity(dir.shards.len()),
+        };
+        for s in &dir.shards {
+            let shard = rlock(s);
+            stats.len += shard.len();
+            stats.total_moves += shard.total_moves();
+            stats.shard_lens.push(shard.len());
+            stats.shard_capacities.push(shard.backend().capacity());
+        }
+        stats
+    }
+
+    /// Rebalance the shard map until every shard is inside the policy band:
+    /// split any shard above `max_shard_len` (while below `max_shards`),
+    /// then merge any shard below `min_shard_len` whose combined size with
+    /// a neighbor fits. Takes the directory lock exclusively — a barrier
+    /// for all point operations — but each split/merge moves only O(shard)
+    /// elements via the bulk path.
+    ///
+    /// Terminates: splits strictly shrink an oversized shard into halves
+    /// too big to merge (`> max/2 >= 2·min`), merges strictly reduce the
+    /// shard count and never create a splittable shard (combined `<= max`).
+    fn maintain(&self) {
+        let mut dir = wlock(&self.dir);
+        loop {
+            let n = dir.shards.len();
+            if n < self.policy.max_shards {
+                if let Some(i) = (0..n)
+                    .find(|&i| shard_mut(&mut dir.shards[i]).len() > self.policy.max_shard_len)
+                {
+                    self.split_shard(&mut dir, i);
+                    self.splits.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+            if n > 1 {
+                // For an underfull shard, try either neighbor (right first)
+                // and merge with whichever keeps the pair within the band;
+                // yield the *left* index of the mergeable pair.
+                let mergeable = (0..n).find_map(|i| {
+                    let li = shard_mut(&mut dir.shards[i]).len();
+                    if li >= self.policy.min_shard_len {
+                        return None;
+                    }
+                    if i + 1 < n
+                        && li + shard_mut(&mut dir.shards[i + 1]).len() <= self.policy.max_shard_len
+                    {
+                        return Some(i);
+                    }
+                    if i > 0
+                        && li + shard_mut(&mut dir.shards[i - 1]).len() <= self.policy.max_shard_len
+                    {
+                        return Some(i - 1);
+                    }
+                    None
+                });
+                if let Some(left) = mergeable {
+                    self.merge_into_left(&mut dir, left);
+                    self.merges.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+            break;
+        }
+    }
+
+    /// Split shard `i` at its median rank. The shard is exported with one
+    /// snapshot sweep (a pure read — no backend deletes, which on the
+    /// layered backends cost as much as inserts) and both halves are
+    /// bulk-loaded into fresh backends at ~1 move per element; the first
+    /// upper-half key becomes the new split key. O(shard) total.
+    fn split_shard(&self, dir: &mut Directory<K, V>, i: usize) {
+        let slot = shard_mut(&mut dir.shards[i]);
+        let old = std::mem::replace(slot, self.fresh_shard());
+        self.retired_moves.fetch_add(old.total_moves(), Ordering::Relaxed);
+        let mut lower = old.into_sorted_vec();
+        let upper = lower.split_off(lower.len() / 2);
+        debug_assert!(!upper.is_empty(), "split of a shard with < 2 entries");
+        let split_key = upper[0].0.clone();
+        slot.extend_sorted(lower);
+        let mut fresh = self.fresh_shard();
+        fresh.extend_sorted(upper);
+        dir.bounds.insert(i, split_key);
+        dir.shards.insert(i + 1, RwLock::new(fresh));
+    }
+
+    /// Merge shard `left + 1` into shard `left`: the right shard is drained
+    /// sorted and appended in one bulk sweep; its split key disappears.
+    fn merge_into_left(&self, dir: &mut Directory<K, V>, left: usize) {
+        let right = dir.shards.remove(left + 1);
+        let right = right.into_inner().unwrap_or_else(|e| e.into_inner());
+        self.retired_moves.fetch_add(right.total_moves(), Ordering::Relaxed);
+        dir.bounds.remove(left);
+        shard_mut(&mut dir.shards[left]).extend_sorted(right.into_sorted_vec());
+    }
+
+    /// Verify the directory invariants: split keys strictly ascending, one
+    /// more shard than split keys, every shard's keys inside its span and
+    /// ascending. O(n); test/diagnostic use only.
+    pub fn check_invariants(&self) {
+        let dir = rlock(&self.dir);
+        assert_eq!(dir.shards.len(), dir.bounds.len() + 1, "directory shape");
+        assert!(
+            dir.bounds.windows(2).all(|w| w[0] < w[1]),
+            "split keys must be strictly ascending"
+        );
+        for (i, s) in dir.shards.iter().enumerate() {
+            let shard = rlock(s);
+            let keys: Vec<K> = shard.keys().cloned().collect();
+            assert!(keys.windows(2).all(|w| w[0] < w[1]), "shard {i} keys unsorted");
+            if let (Some(first), Some(lo)) =
+                (keys.first(), i.checked_sub(1).map(|j| &dir.bounds[j]))
+            {
+                assert!(lo <= first, "shard {i} holds a key below its span");
+            }
+            if let (Some(last), Some(hi)) = (keys.last(), dir.bounds.get(i)) {
+                assert!(last < hi, "shard {i} holds a key above its span");
+            }
+        }
+    }
+}
+
+impl<K: Ord + Clone + fmt::Debug, V> fmt::Debug for ShardedMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dir = rlock(&self.dir);
+        let lens: Vec<usize> = dir.shards.iter().map(|s| rlock(s).len()).collect();
+        f.debug_struct("ShardedMap").field("shards", &lens).field("bounds", &dir.bounds).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ShardedBuilder;
+    use std::collections::BTreeMap;
+
+    fn tiny() -> ShardedBuilder {
+        // Aggressive thresholds so small tests exercise splits and merges.
+        ShardedBuilder::new().max_shard_len(32).min_shard_len(8).seed(7)
+    }
+
+    #[test]
+    fn point_ops_match_btreemap_through_splits_and_merges() {
+        let map = tiny().build::<u64, u64>();
+        let mut model = BTreeMap::new();
+        let mut x = 42u64;
+        for i in 0..4000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = x % 500;
+            if !x.is_multiple_of(4) {
+                assert_eq!(map.insert(k, i), model.insert(k, i), "insert({k})");
+            } else {
+                assert_eq!(map.remove(&k), model.remove(&k), "remove({k})");
+            }
+            assert_eq!(map.get(&k), model.get(&k).copied());
+        }
+        map.check_invariants();
+        assert_eq!(map.len(), model.len());
+        let stats = map.stats();
+        assert!(stats.splits > 0, "workload should split shards");
+        assert_eq!(map.to_vec(), model.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drain_forces_merges_back_to_one_shard() {
+        let map = tiny().build::<u32, ()>();
+        for k in 0..600u32 {
+            map.insert(k, ());
+        }
+        assert!(map.shard_count() > 4, "600 entries over max 32 must shard");
+        map.check_invariants();
+        for k in 0..595u32 {
+            map.remove(&k);
+        }
+        map.check_invariants();
+        let stats = map.stats();
+        assert!(stats.merges > 0, "drain must merge shards");
+        assert!(stats.shards < 4, "5 survivors should collapse shards, got {}", stats.shards);
+        assert_eq!(map.to_vec(), (595..600).map(|k| (k, ())).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_stitches_across_shards() {
+        let map = tiny().build::<u32, u32>();
+        let mut model = BTreeMap::new();
+        for k in (0..900u32).step_by(3) {
+            map.insert(k, k * 2);
+            model.insert(k, k * 2);
+        }
+        assert!(map.shard_count() > 2);
+        for (lo, hi) in [(0, 900), (1, 2), (100, 700), (899, 900), (450, 450)] {
+            assert_eq!(
+                map.range(lo..hi),
+                model.range(lo..hi).map(|(k, v)| (*k, *v)).collect::<Vec<_>>(),
+                "[{lo}, {hi})"
+            );
+            assert_eq!(
+                map.range(lo..=hi),
+                model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect::<Vec<_>>(),
+                "[{lo}, {hi}]"
+            );
+        }
+        assert_eq!(map.to_vec().len(), model.len());
+        let mut visited = Vec::new();
+        map.for_each(|k, v| visited.push((*k, *v)));
+        assert_eq!(visited, map.to_vec());
+    }
+
+    #[test]
+    fn bulk_extend_pre_shards_and_merges_runs() {
+        let map = tiny().build_from_sorted::<u64, u64>((0..1000).map(|k| (k, k)).collect());
+        assert_eq!(map.len(), 1000);
+        assert!(map.shard_count() > 8, "bulk load must pre-shard");
+        map.check_invariants();
+        // A second sorted batch interleaves: overlaps replace, gaps splice.
+        map.extend_sorted((500..1500).map(|k| (k, k + 1)).collect());
+        map.check_invariants();
+        assert_eq!(map.len(), 1500);
+        assert_eq!(map.get(&499), Some(499));
+        assert_eq!(map.get(&500), Some(501));
+        assert_eq!(map.get(&1499), Some(1500));
+    }
+
+    #[test]
+    fn underfull_shard_merges_left_when_right_does_not_fit() {
+        // Three shards of 32 (policy band [16, 64]); fatten the right one,
+        // then drain the middle below min: merging right would overflow
+        // (15 + 60 > 64), so maintenance must merge left (15 + 32 <= 64).
+        let map = ShardedBuilder::new()
+            .max_shard_len(64)
+            .min_shard_len(16)
+            .seed(5)
+            .build_from_sorted::<u32, u32>((0..96).map(|k| (k, k)).collect());
+        assert_eq!(map.shard_count(), 3);
+        for k in 96..124 {
+            map.insert(k, k);
+        }
+        assert_eq!(map.shard_count(), 3, "fattening must not split yet");
+        for k in 32..49 {
+            map.remove(&k);
+        }
+        let stats = map.stats();
+        assert_eq!(stats.merges, 1, "crossing min must merge exactly once");
+        assert_eq!(stats.shards, 2, "left-neighbor merge must collapse the pair");
+        map.check_invariants();
+        let expected: Vec<(u32, u32)> =
+            (0..124).filter(|k| !(32..49).contains(k)).map(|k| (k, k)).collect();
+        assert_eq!(map.to_vec(), expected);
+    }
+
+    #[test]
+    fn total_moves_is_monotone_across_resharding() {
+        let map = tiny().build::<u32, u32>();
+        for k in 0..400 {
+            map.insert(k, k);
+        }
+        let grown = map.stats();
+        assert!(grown.splits > 0);
+        for k in 0..395 {
+            map.remove(&k);
+        }
+        let drained = map.stats();
+        assert!(drained.merges > 0);
+        assert!(
+            drained.total_moves >= grown.total_moves,
+            "retired backends' moves must not vanish: {} < {}",
+            drained.total_moves,
+            grown.total_moves
+        );
+    }
+
+    #[test]
+    fn borrowed_key_queries() {
+        let map = ShardedBuilder::new().max_shard_len(4).min_shard_len(1).build::<String, u32>();
+        for (i, name) in
+            ["ash", "beech", "cedar", "elm", "fir", "oak", "pine", "yew"].iter().enumerate()
+        {
+            map.insert(name.to_string(), i as u32);
+        }
+        assert!(map.shard_count() > 1);
+        assert_eq!(map.get("cedar"), Some(2));
+        assert!(map.contains_key("oak"));
+        assert!(!map.contains_key("maple"));
+        map.get_mut_with("elm", |v| *v += 10);
+        assert_eq!(map.get("elm"), Some(13));
+        assert_eq!(map.get_with("fir", |v| v + 1), Some(5));
+        assert_eq!(map.remove("ash"), Some(0));
+        assert_eq!(map.remove("ash"), None);
+        assert_eq!(map.first_key_value(), Some(("beech".to_string(), 1)));
+        assert_eq!(map.last_key_value(), Some(("yew".to_string(), 7)));
+        map.check_invariants();
+    }
+
+    #[test]
+    fn stats_track_occupancy() {
+        let map = tiny().build::<u32, u32>();
+        for k in 0..200 {
+            map.insert(k, k);
+        }
+        let stats = map.stats();
+        assert_eq!(stats.len, 200);
+        assert_eq!(stats.shard_lens.iter().sum::<usize>(), 200);
+        assert_eq!(stats.shard_lens.len(), stats.shards);
+        assert_eq!(stats.shard_capacities.len(), stats.shards);
+        assert!(stats.total_moves > 0);
+        assert!(stats.shard_lens.iter().zip(&stats.shard_capacities).all(|(l, c)| l <= c));
+        let line = format!("{stats}");
+        assert!(line.contains("200 entries"), "display: {line}");
+    }
+}

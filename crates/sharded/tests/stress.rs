@@ -1,0 +1,218 @@
+//! Concurrency coverage for `ShardedMap`.
+//!
+//! * `stress_*`: an N-writer differential stress test per backend — four
+//!   writer threads churn disjoint key stripes while tracking a private
+//!   `BTreeMap` model each; every return value is compared op-by-op (the
+//!   stripes are disjoint, so each thread's view of its own keys is
+//!   sequentially consistent even under concurrent foreign writes), and the
+//!   final map must equal the union of the models. The policy band is tight
+//!   enough that the run exercises both splits and merges.
+//! * `scans_stay_sorted_under_concurrent_writers`: readers stitch range
+//!   scans while writers churn; every stitched scan must be sorted and
+//!   duplicate-free even though it is not an atomic snapshot.
+//! * `range_stitching_matches_reference`: a single-threaded property test —
+//!   cross-shard `range`/`to_vec` stitching equals a `BTreeMap` reference
+//!   under churn that forces splits and merges.
+
+use lll_api::Backend;
+use lll_sharded::ShardedBuilder;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread;
+
+const THREADS: u64 = 4;
+
+fn differential_stress(backend: Backend) {
+    let ops_per_thread: u64 = match backend {
+        // The layered compositions carry real constant factors in debug
+        // builds; fewer ops still cross the split and merge thresholds.
+        Backend::Corollary11 | Backend::Corollary12 => 1200,
+        _ => 2500,
+    };
+    let keyspace: u64 = ops_per_thread / 6;
+    let map = Arc::new(
+        ShardedBuilder::new()
+            .backend(backend)
+            .seed(0xFEED)
+            .max_shard_len(64)
+            .min_shard_len(16)
+            .build::<u64, u64>(),
+    );
+    let parts: Vec<BTreeMap<u64, u64>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|tid| {
+                let map = Arc::clone(&map);
+                s.spawn(move || {
+                    let mut model = BTreeMap::new();
+                    let mut rng = StdRng::seed_from_u64(tid * 977 + 1);
+                    for i in 0..ops_per_thread {
+                        // Striped keys: thread `tid` owns k ≡ tid (mod THREADS).
+                        let k = rng.gen_range(0..keyspace) * THREADS + tid;
+                        let draining = i > ops_per_thread * 3 / 4;
+                        if !draining && rng.gen_bool(0.65) {
+                            assert_eq!(
+                                map.insert(k, i),
+                                model.insert(k, i),
+                                "insert({k}) diverged on {}",
+                                backend.name()
+                            );
+                        } else {
+                            assert_eq!(
+                                map.remove(&k),
+                                model.remove(&k),
+                                "remove({k}) diverged on {}",
+                                backend.name()
+                            );
+                        }
+                        if i % 32 == 0 {
+                            assert_eq!(map.get(&k), model.get(&k).copied());
+                            assert_eq!(map.contains_key(&k), model.contains_key(&k));
+                        }
+                    }
+                    model
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("writer thread panicked")).collect()
+    });
+    map.check_invariants();
+    let mut expected = BTreeMap::new();
+    for part in parts {
+        expected.extend(part);
+    }
+    assert_eq!(map.len(), expected.len(), "{} length diverged", backend.name());
+    assert_eq!(
+        map.to_vec(),
+        expected.into_iter().collect::<Vec<_>>(),
+        "{} contents diverged",
+        backend.name()
+    );
+    let stats = map.stats();
+    assert!(stats.splits > 0, "{} run never split a shard", backend.name());
+    assert!(stats.merges > 0, "{} run never merged a shard", backend.name());
+}
+
+#[test]
+fn stress_classic() {
+    differential_stress(Backend::Classic);
+}
+
+#[test]
+fn stress_deamortized() {
+    differential_stress(Backend::Deamortized);
+}
+
+#[test]
+fn stress_randomized() {
+    differential_stress(Backend::Randomized);
+}
+
+#[test]
+fn stress_adaptive() {
+    differential_stress(Backend::Adaptive);
+}
+
+#[test]
+fn stress_corollary11() {
+    differential_stress(Backend::Corollary11);
+}
+
+#[test]
+fn stress_corollary12() {
+    differential_stress(Backend::Corollary12);
+}
+
+#[test]
+fn scans_stay_sorted_under_concurrent_writers() {
+    let map = Arc::new(
+        ShardedBuilder::new().seed(9).max_shard_len(48).min_shard_len(12).build::<u64, u64>(),
+    );
+    thread::scope(|s| {
+        for tid in 0..2u64 {
+            let map = Arc::clone(&map);
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(tid + 50);
+                for i in 0..3000u64 {
+                    let k = rng.gen_range(0..800u64) * 2 + tid;
+                    if rng.gen_bool(0.6) {
+                        map.insert(k, i);
+                    } else {
+                        map.remove(&k);
+                    }
+                }
+            });
+        }
+        for tid in 0..2u64 {
+            let map = Arc::clone(&map);
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(tid + 90);
+                for _ in 0..300 {
+                    let a = rng.gen_range(0..1600u64);
+                    let b = rng.gen_range(0..1600u64);
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    let scan = map.range(lo..=hi);
+                    assert!(
+                        scan.windows(2).all(|w| w[0].0 < w[1].0),
+                        "stitched scan unsorted or duplicated"
+                    );
+                    assert!(scan.iter().all(|&(k, _)| (lo..=hi).contains(&k)));
+                    map.for_each(|_, _| {});
+                }
+            });
+        }
+    });
+    map.check_invariants();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn range_stitching_matches_reference(
+        ops in vec((0u32..600, 0u32..4), 500),
+        queries in vec((0u32..650, 0u32..650), 24),
+    ) {
+        let map = ShardedBuilder::new()
+            .seed(3)
+            .backend(Backend::Classic)
+            .max_shard_len(24)
+            .min_shard_len(6)
+            .build::<u32, u32>();
+        let mut model = BTreeMap::new();
+        // Random churn, then a drain wave: together they force shard
+        // splits and merges around the stitched queries below.
+        for (i, &(k, action)) in ops.iter().enumerate() {
+            if action == 0 {
+                prop_assert_eq!(map.remove(&k), model.remove(&k));
+            } else {
+                prop_assert_eq!(map.insert(k, i as u32), model.insert(k, i as u32));
+            }
+        }
+        for &(k, _) in ops.iter().skip(ops.len() / 2) {
+            prop_assert_eq!(map.remove(&k), model.remove(&k));
+        }
+        map.check_invariants();
+        prop_assert_eq!(
+            map.to_vec(),
+            model.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>()
+        );
+        for &(a, b) in &queries {
+            let (lo, hi) = (a.min(b), a.max(b));
+            prop_assert_eq!(
+                map.range(lo..hi),
+                model.range(lo..hi).map(|(k, v)| (*k, *v)).collect::<Vec<_>>()
+            );
+            prop_assert_eq!(
+                map.range((std::ops::Bound::Excluded(lo), std::ops::Bound::Included(hi))),
+                model
+                    .range((std::ops::Bound::Excluded(lo), std::ops::Bound::Included(hi)))
+                    .map(|(k, v)| (*k, *v))
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+}

@@ -59,6 +59,9 @@
 //!
 //! * [`api`] — the production API: [`api::OrderedList`], [`api::LabelMap`],
 //!   [`api::ListBuilder`] ([`lll_api`]).
+//! * [`sharded`] — the concurrent façade: [`sharded::ShardedMap`] partitions
+//!   the key space across per-shard rebalance domains behind per-shard
+//!   locks for multi-writer workloads ([`lll_sharded`]).
 //! * [`core`] — traits, slot arrays, cost accounting ([`lll_core`]).
 //! * [`classic`] — the classical Itai–Konheim–Rodeh PMA, amortized
 //!   O(log² n).
@@ -82,10 +85,12 @@ pub use lll_deamortized as deamortized;
 pub use lll_embedding as embedding;
 pub use lll_predictions as predictions;
 pub use lll_randomized as randomized;
+pub use lll_sharded as sharded;
 pub use lll_workloads as workloads;
 
 pub mod prelude {
     //! One-stop imports for applications.
     pub use lll_api::{Backend, ErasedList, Handle, LabelMap, ListBuilder, OrderedList, RawList};
     pub use lll_core::prelude::*;
+    pub use lll_sharded::{ShardedBuilder, ShardedMap};
 }
