@@ -46,14 +46,44 @@ pub trait RawList {
     /// stale (see [`Growable::epoch`]).
     fn epoch(&self) -> u64;
 
+    /// Insert at `rank`, returning the new element's stable handle; the
+    /// move log drains through the backend's internal reusable buffer (no
+    /// per-op allocation). Callers that need the log use
+    /// [`insert_reported_into`](Self::insert_reported_into).
+    fn insert(&mut self, rank: usize) -> Handle;
+
+    /// Delete at `rank`, returning the removed element's handle (log
+    /// discarded through the internal buffer, as for
+    /// [`insert`](Self::insert)).
+    fn delete(&mut self, rank: usize) -> Handle;
+
+    /// Insert at `rank`, draining the operation's move log into `out`
+    /// (cleared and refilled, keeping its allocation — the zero-allocation
+    /// label-table maintenance path). The log excludes any growth rebuild,
+    /// which is signalled by the epoch instead.
+    fn insert_reported_into(&mut self, rank: usize, out: &mut OpReport) -> Handle;
+
+    /// Delete at `rank`, draining the move log into `out` (same epoch
+    /// caveat for shrink rebuilds).
+    fn delete_reported_into(&mut self, rank: usize, out: &mut OpReport) -> Handle;
+
     /// Insert at `rank`, returning the new element's stable handle and the
-    /// operation's move log (exclusive of any growth rebuild, which is
-    /// signalled by the epoch instead).
-    fn insert_reported(&mut self, rank: usize) -> (Handle, OpReport);
+    /// operation's move log — allocating convenience over
+    /// [`insert_reported_into`](Self::insert_reported_into).
+    fn insert_reported(&mut self, rank: usize) -> (Handle, OpReport) {
+        let mut rep = OpReport::default();
+        let h = self.insert_reported_into(rank, &mut rep);
+        (h, rep)
+    }
 
     /// Delete at `rank`, returning the removed element's handle and the
-    /// operation's move log (same epoch caveat for shrink rebuilds).
-    fn delete_reported(&mut self, rank: usize) -> (Handle, OpReport);
+    /// operation's move log — allocating convenience over
+    /// [`delete_reported_into`](Self::delete_reported_into).
+    fn delete_reported(&mut self, rank: usize) -> (Handle, OpReport) {
+        let mut rep = OpReport::default();
+        let h = self.delete_reported_into(rank, &mut rep);
+        (h, rep)
+    }
 
     /// Batch-insert `count` new elements at consecutive final ranks
     /// `rank .. rank + count` as one logical operation — the bulk-ingest
@@ -118,12 +148,20 @@ impl<B: LabelingBuilder> RawList for Growable<B> {
         Growable::epoch(self)
     }
 
-    fn insert_reported(&mut self, rank: usize) -> (Handle, OpReport) {
-        Growable::insert_reported(self, rank)
+    fn insert(&mut self, rank: usize) -> Handle {
+        Growable::insert(self, rank)
     }
 
-    fn delete_reported(&mut self, rank: usize) -> (Handle, OpReport) {
-        Growable::delete_reported(self, rank)
+    fn delete(&mut self, rank: usize) -> Handle {
+        Growable::delete(self, rank)
+    }
+
+    fn insert_reported_into(&mut self, rank: usize, out: &mut OpReport) -> Handle {
+        Growable::insert_reported_into(self, rank, out)
+    }
+
+    fn delete_reported_into(&mut self, rank: usize, out: &mut OpReport) -> Handle {
+        Growable::delete_reported_into(self, rank, out)
     }
 
     fn splice_reported(&mut self, rank: usize, count: usize) -> (Vec<Handle>, BulkReport) {
@@ -379,14 +417,15 @@ pub struct ErasedList {
 }
 
 impl ErasedList {
-    /// Insert at `rank`, returning the new element's stable handle.
+    /// Insert at `rank`, returning the new element's stable handle (the
+    /// move log drains through the backend's internal reusable buffer).
     pub fn insert(&mut self, rank: usize) -> Handle {
-        self.inner.insert_reported(rank).0
+        self.inner.insert(rank)
     }
 
     /// Delete at `rank`, returning the removed element's handle.
     pub fn delete(&mut self, rank: usize) -> Handle {
-        self.inner.delete_reported(rank).0
+        self.inner.delete(rank)
     }
 }
 
@@ -403,12 +442,20 @@ impl RawList for ErasedList {
         self.inner.epoch()
     }
 
-    fn insert_reported(&mut self, rank: usize) -> (Handle, OpReport) {
-        self.inner.insert_reported(rank)
+    fn insert(&mut self, rank: usize) -> Handle {
+        self.inner.insert(rank)
     }
 
-    fn delete_reported(&mut self, rank: usize) -> (Handle, OpReport) {
-        self.inner.delete_reported(rank)
+    fn delete(&mut self, rank: usize) -> Handle {
+        self.inner.delete(rank)
+    }
+
+    fn insert_reported_into(&mut self, rank: usize, out: &mut OpReport) -> Handle {
+        self.inner.insert_reported_into(rank, out)
+    }
+
+    fn delete_reported_into(&mut self, rank: usize, out: &mut OpReport) -> Handle {
+        self.inner.delete_reported_into(rank, out)
     }
 
     fn splice_reported(&mut self, rank: usize, count: usize) -> (Vec<Handle>, BulkReport) {

@@ -197,7 +197,7 @@ impl<K: Ord, V, L: RawList> LabelMap<K, V, L> {
             let entry = self.entry.get_mut(&h).expect("entry for live handle");
             return Some(std::mem::replace(&mut entry.1, value));
         }
-        let (h, _) = self.list.insert_reported(rank);
+        let h = self.list.insert(rank);
         self.entry.insert(h, (key, value));
         None
     }
@@ -248,7 +248,7 @@ impl<K: Ord, V, L: RawList> LabelMap<K, V, L> {
         Q: Ord + ?Sized,
     {
         let rank = self.rank_of_key(key)?;
-        let (h, _) = self.list.delete_reported(rank);
+        let h = self.list.delete(rank);
         self.entry.remove(&h).map(|(_, v)| v)
     }
 
@@ -273,7 +273,7 @@ impl<K: Ord, V, L: RawList> LabelMap<K, V, L> {
         if self.is_empty() {
             return None;
         }
-        let (h, _) = self.list.delete_reported(0);
+        let h = self.list.delete(0);
         self.entry.remove(&h)
     }
 
@@ -282,7 +282,7 @@ impl<K: Ord, V, L: RawList> LabelMap<K, V, L> {
         if self.is_empty() {
             return None;
         }
-        let (h, _) = self.list.delete_reported(self.len() - 1);
+        let h = self.list.delete(self.len() - 1);
         self.entry.remove(&h)
     }
 
@@ -291,7 +291,7 @@ impl<K: Ord, V, L: RawList> LabelMap<K, V, L> {
     /// cost model, so this is O(n) plus at most O(n) shrink-rebuild moves.
     pub fn clear(&mut self) {
         while !self.is_empty() {
-            let (h, _) = self.list.delete_reported(self.len() - 1);
+            let h = self.list.delete(self.len() - 1);
             self.entry.remove(&h);
         }
     }
@@ -316,7 +316,7 @@ impl<K: Ord, V, L: RawList> LabelMap<K, V, L> {
         assert!(at <= self.len(), "split_off_at_rank {at} > len {}", self.len());
         let mut tail = Vec::with_capacity(self.len() - at);
         while self.len() > at {
-            let (h, _) = self.list.delete_reported(at);
+            let h = self.list.delete(at);
             tail.push(self.entry.remove(&h).expect("entry for live handle"));
         }
         tail

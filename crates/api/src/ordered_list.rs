@@ -39,6 +39,10 @@ pub struct OrderedList<V, L: RawList = ErasedList> {
     list: L,
     label: HashMap<Handle, u32>,
     value: HashMap<Handle, V>,
+    /// Reusable report buffer: point operations drain the backend's move
+    /// log into it and apply the label updates in place, so steady-state
+    /// inserts allocate nothing on the logging path.
+    scratch: OpReport,
 }
 
 impl<V> OrderedList<V> {
@@ -62,7 +66,7 @@ impl<V, L: RawList> OrderedList<V, L> {
     /// every operation.
     pub fn with_backend(list: L) -> Self {
         assert!(list.is_empty(), "OrderedList requires an empty backend");
-        Self { list, label: HashMap::new(), value: HashMap::new() }
+        Self { list, label: HashMap::new(), value: HashMap::new(), scratch: OpReport::default() }
     }
 
     /// Current element count.
@@ -200,10 +204,12 @@ impl<V, L: RawList> OrderedList<V, L> {
     ///
     /// Panics if `rank > len`.
     pub fn insert_at(&mut self, rank: usize, value: V) -> Handle {
+        let mut rep = std::mem::take(&mut self.scratch);
         let pre_epoch = self.list.epoch();
-        let (h, rep) = self.list.insert_reported(rank);
+        let h = self.list.insert_reported_into(rank, &mut rep);
         self.value.insert(h, value);
         self.sync(pre_epoch, &rep);
+        self.scratch = rep;
         h
     }
 
@@ -295,12 +301,14 @@ impl<V, L: RawList> OrderedList<V, L> {
     /// Remove the element `h`, returning its value (`None` if stale).
     pub fn remove(&mut self, h: Handle) -> Option<V> {
         let rank = self.rank(h)?;
+        let mut rep = std::mem::take(&mut self.scratch);
         let pre_epoch = self.list.epoch();
-        let (gone, rep) = self.list.delete_reported(rank);
+        let gone = self.list.delete_reported_into(rank, &mut rep);
         debug_assert_eq!(gone, h, "label table pointed at the wrong rank");
         self.label.remove(&h);
         let value = self.value.remove(&h);
         self.sync(pre_epoch, &rep);
+        self.scratch = rep;
         value
     }
 
@@ -630,6 +638,42 @@ mod tests {
         ol.check_labels();
         assert_eq!(ol.rank(h), Some(199));
         assert_eq!(ol.len(), 200);
+    }
+
+    #[test]
+    fn steady_state_ops_reuse_the_move_log_sink() {
+        // Zero-allocation logging through the whole stack: OrderedList's
+        // scratch report → Growable → the slot array's move-log sink. A
+        // pop/push cycle at the tail returns the structure to the same
+        // layout, so after one warm-up cycle every drain must reuse the
+        // buffers (the reuse counter equals the drain counter exactly).
+        use lll_classic::ClassicBuilder;
+        use lll_core::growable::Growable;
+        use lll_core::traits::ListLabeling as _;
+        let backend: Growable<ClassicBuilder> =
+            ListBuilder::new().initial_capacity(1024).build_growable(ClassicBuilder);
+        let mut ol: OrderedList<u32, _> = OrderedList::with_backend(backend);
+        for i in 0..512 {
+            ol.push_back(i);
+        }
+        // One warm-up cycle grows scratch capacity to the cycle's high-water
+        // mark; the remaining cycles must be allocation-free on the log path.
+        ol.pop_back();
+        ol.push_back(0);
+        let slots = |ol: &OrderedList<u32, Growable<ClassicBuilder>>| {
+            (
+                ol.backend().inner().slots().log_sink_drains(),
+                ol.backend().inner().slots().log_sink_reuses(),
+            )
+        };
+        let (d0, r0) = slots(&ol);
+        for i in 0..500 {
+            ol.pop_back();
+            ol.push_back(i);
+        }
+        let (d1, r1) = slots(&ol);
+        assert_eq!(d1 - d0, 1000, "one drain per operation");
+        assert_eq!(r1 - r0, d1 - d0, "every steady-state drain must reuse its buffer");
     }
 
     #[test]

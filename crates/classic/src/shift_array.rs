@@ -42,6 +42,13 @@ impl ListLabeling for ShiftArray {
     }
 
     fn insert(&mut self, rank: usize) -> OpReport {
+        let mut out = OpReport::default();
+        self.insert_into(rank, &mut out);
+        out
+    }
+
+    fn insert_into(&mut self, rank: usize, out: &mut OpReport) {
+        out.clear();
         let len = self.len();
         assert!(rank <= len, "insert rank {rank} > len {len}");
         assert!(len < self.capacity, "at capacity");
@@ -50,17 +57,26 @@ impl ListLabeling for ShiftArray {
         }
         let id = self.ids.fresh();
         self.slots.place(rank, id);
-        OpReport { moves: self.slots.drain_log(), placed: Some((id, rank as u32)), removed: None }
+        self.slots.drain_log_into(&mut out.moves);
+        out.placed = Some((id, rank as u32));
     }
 
     fn delete(&mut self, rank: usize) -> OpReport {
+        let mut out = OpReport::default();
+        self.delete_into(rank, &mut out);
+        out
+    }
+
+    fn delete_into(&mut self, rank: usize, out: &mut OpReport) {
+        out.clear();
         let len = self.len();
         assert!(rank < len, "delete rank {rank} >= len {len}");
         let id = self.slots.remove(rank);
         for r in rank + 1..len {
             self.slots.move_elem(r, r - 1);
         }
-        OpReport { moves: self.slots.drain_log(), placed: None, removed: Some((id, rank as u32)) }
+        self.slots.drain_log_into(&mut out.moves);
+        out.removed = Some((id, rank as u32));
     }
 
     fn slots(&self) -> &SlotArray {

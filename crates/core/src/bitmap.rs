@@ -1,0 +1,373 @@
+//! Word-level occupancy bitmap: one bit per slot, 64 slots per `u64`.
+//!
+//! The physical ground truth of a [`SlotArray`](crate::slot_array::SlotArray):
+//! window questions ("who occupies `[a, b)`?", "where is the next free
+//! slot?") are answered by walking only the window's words with
+//! `count_ones`/`trailing_zeros`, instead of O(log m) Fenwick walks or —
+//! worse — O(m) scans of the whole contents array. The Fenwick tree stays
+//! on top of this bitmap for *global* rank/select; everything word-local
+//! lives here.
+
+/// A fixed-length bitmap over slot positions.
+#[derive(Clone, Debug)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+/// Outcome of a capped scan (see [`Bitmap::next_zero_capped`]): scans give
+/// up after a bounded number of words so callers can fall back to an
+/// O(log² m) index walk instead of degrading to O(m/64).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CappedScan {
+    /// The wanted bit is at this position.
+    Found(usize),
+    /// No such bit exists in the scanned direction.
+    Exhausted,
+    /// The word budget ran out; resume (inclusive) from this position with
+    /// a different strategy.
+    GaveUp(usize),
+}
+
+impl Bitmap {
+    /// An all-zero bitmap over `len` positions.
+    pub fn new(len: usize) -> Self {
+        Self { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Number of positions covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap covers zero positions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit at `pos`.
+    #[inline]
+    pub fn get(&self, pos: usize) -> bool {
+        debug_assert!(pos < self.len);
+        self.words[pos >> 6] >> (pos & 63) & 1 == 1
+    }
+
+    /// Set the bit at `pos`.
+    #[inline]
+    pub fn set(&mut self, pos: usize) {
+        debug_assert!(pos < self.len);
+        self.words[pos >> 6] |= 1 << (pos & 63);
+    }
+
+    /// Clear the bit at `pos`.
+    #[inline]
+    pub fn clear(&mut self, pos: usize) {
+        debug_assert!(pos < self.len);
+        self.words[pos >> 6] &= !(1 << (pos & 63));
+    }
+
+    /// The backing words (test/diagnostic introspection).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Heap bytes held by the backing words.
+    pub fn memory_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Number of words a scan of `[a, b)` touches.
+    #[inline]
+    pub fn words_spanned(a: usize, b: usize) -> usize {
+        if a >= b {
+            0
+        } else {
+            (b - 1) / 64 - a / 64 + 1
+        }
+    }
+
+    /// The word holding positions `64w..64w+64`, masked to `[a, b)`.
+    #[inline]
+    fn masked_word(&self, w: usize, a: usize, b: usize) -> u64 {
+        let mut word = self.words[w];
+        let base = w << 6;
+        if a > base {
+            word &= !0 << (a - base);
+        }
+        if b < base + 64 {
+            word &= (1u64 << (b - base)) - 1;
+        }
+        word
+    }
+
+    /// Count of set bits in `[a, b)` — popcount over the spanned words.
+    pub fn count_in(&self, a: usize, b: usize) -> usize {
+        let b = b.min(self.len);
+        if a >= b {
+            return 0;
+        }
+        (a / 64..=(b - 1) / 64).map(|w| self.masked_word(w, a, b).count_ones() as usize).sum()
+    }
+
+    /// Iterate set-bit positions in `[a, b)` in increasing order, walking
+    /// one word at a time with `trailing_zeros`.
+    pub fn ones_in(&self, a: usize, b: usize) -> OnesIn<'_> {
+        let b = b.min(self.len);
+        let a = a.min(b);
+        OnesIn {
+            bits: self,
+            b,
+            word: if a < b { self.masked_word(a / 64, a, b) } else { 0 },
+            w: a / 64,
+            words_scanned: if a < b { 1 } else { 0 },
+        }
+    }
+
+    /// The first set bit at or after `pos`, if any. Unbounded word scan; use
+    /// only where the caller knows the distance is short (or doesn't care).
+    pub fn next_one(&self, pos: usize) -> Option<usize> {
+        if pos >= self.len {
+            return None;
+        }
+        let mut w = pos >> 6;
+        let mut word = self.words[w] & (!0 << (pos & 63));
+        loop {
+            if word != 0 {
+                let p = (w << 6) + word.trailing_zeros() as usize;
+                return (p < self.len).then_some(p);
+            }
+            w += 1;
+            if w >= self.words.len() {
+                return None;
+            }
+            word = self.words[w];
+        }
+    }
+
+    /// The last set bit at or before `pos`, if any.
+    pub fn prev_one(&self, pos: usize) -> Option<usize> {
+        let pos = pos.min(self.len.saturating_sub(1));
+        if self.len == 0 {
+            return None;
+        }
+        let mut w = pos >> 6;
+        let mut word = self.words[w] & (!0 >> (63 - (pos & 63)));
+        loop {
+            if word != 0 {
+                return Some((w << 6) + 63 - word.leading_zeros() as usize);
+            }
+            if w == 0 {
+                return None;
+            }
+            w -= 1;
+            word = self.words[w];
+        }
+    }
+
+    /// The first **clear** bit at or after `pos`, giving up after
+    /// `cap_words` words. Returns how many words were examined alongside
+    /// the outcome.
+    pub fn next_zero_capped(&self, pos: usize, cap_words: usize) -> (CappedScan, usize) {
+        if pos >= self.len {
+            return (CappedScan::Exhausted, 0);
+        }
+        let mut w = pos >> 6;
+        let mut word = !self.words[w] & (!0 << (pos & 63));
+        let mut scanned = 1usize;
+        loop {
+            if word != 0 {
+                let p = (w << 6) + word.trailing_zeros() as usize;
+                return if p < self.len {
+                    (CappedScan::Found(p), scanned)
+                } else {
+                    (CappedScan::Exhausted, scanned)
+                };
+            }
+            w += 1;
+            if w >= self.words.len() {
+                return (CappedScan::Exhausted, scanned);
+            }
+            if scanned >= cap_words {
+                return (CappedScan::GaveUp(w << 6), scanned);
+            }
+            word = !self.words[w];
+            scanned += 1;
+        }
+    }
+
+    /// The last **clear** bit at or before `pos`, giving up after
+    /// `cap_words` words. Returns how many words were examined alongside
+    /// the outcome.
+    pub fn prev_zero_capped(&self, pos: usize, cap_words: usize) -> (CappedScan, usize) {
+        if self.len == 0 {
+            return (CappedScan::Exhausted, 0);
+        }
+        let pos = pos.min(self.len - 1);
+        let mut w = pos >> 6;
+        let mut word = !self.words[w] & (!0 >> (63 - (pos & 63)));
+        let mut scanned = 1usize;
+        loop {
+            if word != 0 {
+                return (CappedScan::Found((w << 6) + 63 - word.leading_zeros() as usize), scanned);
+            }
+            if w == 0 {
+                return (CappedScan::Exhausted, scanned);
+            }
+            if scanned >= cap_words {
+                return (CappedScan::GaveUp((w << 6) - 1), scanned);
+            }
+            w -= 1;
+            word = !self.words[w];
+            scanned += 1;
+        }
+    }
+}
+
+/// Iterator over set-bit positions in a window (see [`Bitmap::ones_in`]).
+pub struct OnesIn<'a> {
+    bits: &'a Bitmap,
+    b: usize,
+    /// Remaining bits of the current word (already masked to the window).
+    word: u64,
+    /// Current word index.
+    w: usize,
+    /// Words examined so far (flushed into scan instrumentation by
+    /// wrappers that care; see `SlotArray::iter_occupied_in`).
+    words_scanned: usize,
+}
+
+impl OnesIn<'_> {
+    /// Words examined so far.
+    #[inline]
+    pub fn words_scanned(&self) -> usize {
+        self.words_scanned
+    }
+}
+
+impl Iterator for OnesIn<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.word != 0 {
+                let p = (self.w << 6) + self.word.trailing_zeros() as usize;
+                self.word &= self.word - 1;
+                return Some(p);
+            }
+            self.w += 1;
+            if (self.w << 6) >= self.b {
+                return None;
+            }
+            self.word = self.bits.masked_word(self.w, 0, self.b);
+            self.words_scanned += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_positions(positions: &[usize], len: usize) -> Bitmap {
+        let mut b = Bitmap::new(len);
+        for &p in positions {
+            b.set(p);
+        }
+        b
+    }
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = Bitmap::new(130);
+        assert!(!b.get(129));
+        b.set(129);
+        b.set(0);
+        b.set(64);
+        assert!(b.get(129) && b.get(0) && b.get(64));
+        b.clear(64);
+        assert!(!b.get(64));
+    }
+
+    #[test]
+    fn count_in_matches_naive() {
+        let pos = [0, 1, 63, 64, 65, 127, 128, 199];
+        let b = from_positions(&pos, 200);
+        for a in [0, 1, 63, 64, 100, 199, 200] {
+            for e in [0, 1, 64, 65, 128, 200] {
+                let naive = pos.iter().filter(|&&p| a <= p && p < e).count();
+                assert_eq!(b.count_in(a, e), naive, "count_in({a}, {e})");
+            }
+        }
+    }
+
+    #[test]
+    fn ones_in_matches_naive() {
+        let pos = [3, 63, 64, 100, 191, 192];
+        let b = from_positions(&pos, 193);
+        for (a, e) in [(0, 193), (3, 64), (64, 65), (65, 191), (100, 193), (5, 5)] {
+            let got: Vec<usize> = b.ones_in(a, e).collect();
+            let want: Vec<usize> = pos.iter().copied().filter(|&p| a <= p && p < e).collect();
+            assert_eq!(got, want, "ones_in({a}, {e})");
+        }
+    }
+
+    #[test]
+    fn neighbors() {
+        let b = from_positions(&[2, 70, 140], 150);
+        assert_eq!(b.next_one(0), Some(2));
+        assert_eq!(b.next_one(3), Some(70));
+        assert_eq!(b.next_one(141), None);
+        assert_eq!(b.prev_one(149), Some(140));
+        assert_eq!(b.prev_one(69), Some(2));
+        assert_eq!(b.prev_one(1), None);
+    }
+
+    #[test]
+    fn capped_zero_scans() {
+        // 200 bits, all ones except 130 and 199.
+        let mut b = Bitmap::new(200);
+        for i in 0..200 {
+            b.set(i);
+        }
+        b.clear(130);
+        b.clear(199);
+        assert_eq!(b.next_zero_capped(0, 64).0, CappedScan::Found(130));
+        // Budget of one word from position 0: gives up at the next word.
+        assert_eq!(b.next_zero_capped(0, 1).0, CappedScan::GaveUp(64));
+        assert_eq!(b.next_zero_capped(131, 64).0, CappedScan::Found(199));
+        assert_eq!(b.prev_zero_capped(199, 64).0, CappedScan::Found(199));
+        assert_eq!(b.prev_zero_capped(198, 64).0, CappedScan::Found(130));
+        assert_eq!(b.prev_zero_capped(129, 1).0, CappedScan::GaveUp(127));
+        assert_eq!(b.prev_zero_capped(129, 64).0, CappedScan::Exhausted);
+        let full = from_positions(&[0, 1, 2], 3);
+        assert_eq!(full.next_zero_capped(0, 8).0, CappedScan::Exhausted);
+        assert_eq!(full.prev_zero_capped(2, 8).0, CappedScan::Exhausted);
+    }
+
+    #[test]
+    fn tail_bits_beyond_len_are_ignored() {
+        // len 70: word 1 has only 6 valid bits; a zero "beyond" len must
+        // never be reported.
+        let mut b = Bitmap::new(70);
+        for i in 0..70 {
+            b.set(i);
+        }
+        assert_eq!(b.next_zero_capped(0, 8).0, CappedScan::Exhausted);
+        assert_eq!(b.next_one(69), Some(69));
+        assert_eq!(b.count_in(0, 70), 70);
+    }
+
+    #[test]
+    fn words_spanned_counts() {
+        assert_eq!(Bitmap::words_spanned(0, 0), 0);
+        assert_eq!(Bitmap::words_spanned(0, 1), 1);
+        assert_eq!(Bitmap::words_spanned(0, 64), 1);
+        assert_eq!(Bitmap::words_spanned(0, 65), 2);
+        assert_eq!(Bitmap::words_spanned(63, 65), 2);
+        assert_eq!(Bitmap::words_spanned(64, 128), 1);
+    }
+}

@@ -113,6 +113,31 @@ impl Fenwick {
         Some(pos)
     }
 
+    /// All point values, recovered in O(len) total: `tree[i]` aggregates
+    /// the range `(i - lowbit(i), i]`, so the value at position `i-1` is
+    /// `tree[i]` minus the sums of the sub-chains it absorbs. Summed over
+    /// all `i` the chain lengths telescope to O(len). Used by consistency
+    /// sweeps and bitmap-vs-Fenwick property tests.
+    pub fn point_values(&self) -> Vec<u32> {
+        let mut vals = vec![0u32; self.len];
+        for i in 1..=self.len {
+            let mut v = self.tree[i] as i64;
+            let stop = i - (i & i.wrapping_neg());
+            let mut j = i - 1;
+            while j > stop {
+                v -= self.tree[j] as i64;
+                j -= j & j.wrapping_neg();
+            }
+            vals[i - 1] = v as u32;
+        }
+        vals
+    }
+
+    /// Heap bytes held by the tree.
+    pub fn memory_bytes(&self) -> usize {
+        self.tree.capacity() * std::mem::size_of::<u32>()
+    }
+
     /// The first marked position at or after `pos`, if any.
     pub fn next_marked_at_or_after(&self, pos: usize) -> Option<usize> {
         let before = self.prefix(pos);
@@ -258,6 +283,20 @@ mod tests {
         assert_eq!(f.prev_unmarked_at_or_before(2), None);
         let full = Fenwick::from_bits(3, [true, true, true]);
         assert_eq!(full.next_unmarked_at_or_after(0), None);
+    }
+
+    #[test]
+    fn point_values_recover_marks() {
+        for n in [1, 2, 13, 64, 100] {
+            let mut f = Fenwick::new(n);
+            for p in (0..n).step_by(3) {
+                f.add(p, 1);
+            }
+            let vals = f.point_values();
+            for (i, &v) in vals.iter().enumerate() {
+                assert_eq!(v, (i % 3 == 0) as u32, "n={n} pos={i}");
+            }
+        }
     }
 
     #[test]

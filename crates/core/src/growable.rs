@@ -49,6 +49,10 @@ pub struct Growable<B: LabelingBuilder> {
     /// Bumped on every rebuild. All labels (slot positions) are invalidated
     /// when this changes; see [`Growable::epoch`].
     epoch: u64,
+    /// Reusable report buffer for report-free entry points
+    /// ([`insert`](Self::insert)/[`delete`](Self::delete)): steady-state
+    /// operations through them allocate nothing for move logging.
+    scratch: OpReport,
     /// Count of label→rank resolutions ([`Growable::rank_at_label`]) —
     /// instrumentation for callers that promise label-native navigation
     /// (the `lll-api` cursors) and want to prove they keep it.
@@ -69,6 +73,7 @@ impl<B: LabelingBuilder> Growable<B> {
             stats: GrowableStats::default(),
             op_moves: 0,
             epoch: 0,
+            scratch: OpReport::default(),
             rank_resolutions: AtomicU64::new(0),
         }
     }
@@ -133,7 +138,7 @@ impl<B: LabelingBuilder> Growable<B> {
 
     /// The label (slot position) of the first element, if any.
     pub fn first_label(&self) -> Option<usize> {
-        self.inner.slots().occ().next_marked_at_or_after(0)
+        self.inner.slots().next_occupied_at_or_after(0)
     }
 
     /// The label (slot position) of the last element, if any.
@@ -142,13 +147,13 @@ impl<B: LabelingBuilder> Growable<B> {
         if m == 0 {
             return None;
         }
-        self.inner.slots().occ().prev_marked_at_or_before(m - 1)
+        self.inner.slots().prev_occupied_at_or_before(m - 1)
     }
 
-    /// The label of the next element after `label`, if any — one occupancy
-    /// query, no rank arithmetic.
+    /// The label of the next element after `label`, if any — one word-level
+    /// occupancy-bitmap query, no rank arithmetic.
     pub fn next_label_after(&self, label: usize) -> Option<usize> {
-        self.inner.slots().occ().next_marked_at_or_after(label + 1)
+        self.inner.slots().next_occupied_at_or_after(label + 1)
     }
 
     /// The label of the previous element before `label`, if any.
@@ -156,7 +161,7 @@ impl<B: LabelingBuilder> Growable<B> {
         if label == 0 {
             return None;
         }
-        self.inner.slots().occ().prev_marked_at_or_before(label - 1)
+        self.inner.slots().prev_occupied_at_or_before(label - 1)
     }
 
     /// The handle of the element stored at `label`, or `None` for a free
@@ -231,52 +236,81 @@ impl<B: LabelingBuilder> Growable<B> {
         fresh_handles
     }
 
-    /// Insert a new element at `rank`, growing if necessary.
+    /// Insert a new element at `rank`, growing if necessary. The move log
+    /// drains through an internal reusable buffer: no per-op allocation.
     pub fn insert(&mut self, rank: usize) -> Handle {
-        self.insert_reported(rank).0
+        let mut rep = std::mem::take(&mut self.scratch);
+        let h = self.insert_reported_into(rank, &mut rep);
+        self.scratch = rep;
+        h
     }
 
     /// [`insert`](Self::insert), also returning the operation's move log.
+    ///
+    /// Allocating convenience over
+    /// [`insert_reported_into`](Self::insert_reported_into), which hot
+    /// paths call with a reused buffer instead.
+    pub fn insert_reported(&mut self, rank: usize) -> (Handle, OpReport) {
+        let mut rep = OpReport::default();
+        let h = self.insert_reported_into(rank, &mut rep);
+        (h, rep)
+    }
+
+    /// Insert at `rank`, draining the operation's move log into `out`
+    /// (cleared and refilled, keeping its allocation).
     ///
     /// The report covers the insertion itself, not any growth rebuild that
     /// preceded it: a rebuild rewrites *every* label, which the report
     /// format cannot express compactly. Callers detect rebuilds by
     /// comparing [`epoch`](Self::epoch) around the call and resynchronize
     /// from [`labels_snapshot`](Self::labels_snapshot).
-    pub fn insert_reported(&mut self, rank: usize) -> (Handle, OpReport) {
+    pub fn insert_reported_into(&mut self, rank: usize, out: &mut OpReport) -> Handle {
         assert!(rank <= self.len(), "insert rank {rank} > len {}", self.len());
         if self.len() == self.capacity() {
             self.stats.grows += 1;
             self.rebuild(self.capacity() * 2);
         }
-        let rep = self.inner.insert(rank);
-        self.op_moves += rep.cost();
+        self.inner.insert_into(rank, out);
+        self.op_moves += out.cost();
         let h = Handle(self.ids.fresh().0);
-        self.handle_of.insert(rep.placed.expect("insert places").0, h);
+        self.handle_of.insert(out.placed.expect("insert places").0, h);
+        h
+    }
+
+    /// Delete the element of `rank`, shrinking at quarter load. Move
+    /// logging reuses the internal buffer (no per-op allocation).
+    pub fn delete(&mut self, rank: usize) -> Handle {
+        let mut rep = std::mem::take(&mut self.scratch);
+        let h = self.delete_reported_into(rank, &mut rep);
+        self.scratch = rep;
+        h
+    }
+
+    /// [`delete`](Self::delete), also returning the operation's move log —
+    /// the allocating convenience over
+    /// [`delete_reported_into`](Self::delete_reported_into).
+    pub fn delete_reported(&mut self, rank: usize) -> (Handle, OpReport) {
+        let mut rep = OpReport::default();
+        let h = self.delete_reported_into(rank, &mut rep);
         (h, rep)
     }
 
-    /// Delete the element of `rank`, shrinking at quarter load.
-    pub fn delete(&mut self, rank: usize) -> Handle {
-        self.delete_reported(rank).0
-    }
-
-    /// [`delete`](Self::delete), also returning the operation's move log
-    /// (same rebuild caveat as [`insert_reported`](Self::insert_reported):
-    /// a shrink that follows the deletion is signalled by the epoch, not by
+    /// Delete at `rank`, draining the move log into `out` (same rebuild
+    /// caveat as [`insert_reported_into`](Self::insert_reported_into): a
+    /// shrink that follows the deletion is signalled by the epoch, not by
     /// the report).
-    pub fn delete_reported(&mut self, rank: usize) -> (Handle, OpReport) {
+    pub fn delete_reported_into(&mut self, rank: usize, out: &mut OpReport) -> Handle {
         assert!(rank < self.len(), "delete rank {rank} >= len {}", self.len());
-        let rep = self.inner.delete(rank);
-        self.op_moves += rep.cost();
-        let (gone, _) = rep.removed.expect("delete removes");
+        self.inner.delete_into(rank, out);
+        self.op_moves += out.cost();
+        let (gone, _) = out.removed.expect("delete removes");
         let h = self.handle_of.remove(&gone).expect("unknown element");
         if self.capacity() > self.min_capacity && self.len() * 4 <= self.capacity() {
             self.stats.shrinks += 1;
             let target = (self.capacity() / 2).max(self.min_capacity);
             self.rebuild(target);
         }
-        (h, rep)
+        h
     }
 
     /// Batch-insert `count` new elements at consecutive final ranks

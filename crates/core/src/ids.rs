@@ -16,6 +16,14 @@ use std::fmt;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ElemId(pub u64);
 
+impl ElemId {
+    /// Sentinel for "no element" in packed slot storage (the
+    /// [`SlotArray`](crate::slot_array::SlotArray) contents array stores
+    /// bare `ElemId`s at 8 bytes per slot instead of 16-byte
+    /// `Option<ElemId>`s). Never produced by an [`IdGen`].
+    pub const NONE: ElemId = ElemId(u64::MAX);
+}
+
 impl fmt::Debug for ElemId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "e{}", self.0)

@@ -29,6 +29,7 @@
 //! * [`testkit`] — a reference oracle used by unit, integration and property
 //!   tests across the workspace.
 
+pub mod bitmap;
 pub mod cost;
 pub mod density;
 pub mod fenwick;

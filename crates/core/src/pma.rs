@@ -76,6 +76,9 @@ pub struct PmaBase<P: RebalancePolicy> {
     policy: P,
     rebalances: u64,
     rebalance_moves: u64,
+    /// Reusable `(from, to)` buffer for rebalance sweeps (no per-rebalance
+    /// allocation).
+    pairs_scratch: Vec<(usize, usize)>,
 }
 
 impl<P: RebalancePolicy> PmaBase<P> {
@@ -91,6 +94,7 @@ impl<P: RebalancePolicy> PmaBase<P> {
             policy,
             rebalances: 0,
             rebalance_moves: 0,
+            pairs_scratch: Vec::new(),
         }
     }
 
@@ -125,30 +129,24 @@ impl<P: RebalancePolicy> PmaBase<P> {
         (self.slots.occupied_in(a, b) + extra) as f64 / (b - a) as f64
     }
 
-    /// Rebalance the window `[a, b)` to the policy's target layout.
+    /// Rebalance the window `[a, b)` to the policy's target layout. The
+    /// window's occupants are enumerated via
+    /// [`iter_occupied_in`](SlotArray::iter_occupied_in) — O(window) work,
+    /// never an O(m) full-array scan.
     fn rebalance(&mut self, level: usize, a: usize, b: usize) {
         let targets = self.policy.targets(&self.tree, &self.slots, a, b);
-        let k = self.slots.occupied_in(a, b);
-        debug_assert_eq!(targets.len(), k, "policy returned wrong target count");
         debug_assert!(targets.windows(2).all(|w| w[0] < w[1]), "targets not increasing");
         debug_assert!(targets.iter().all(|&t| a <= t && t < b), "target outside window");
-        let mut pairs = Vec::with_capacity(k);
-        {
-            let mut i = 0usize;
-            for (pos, _) in self.slots.iter_occupied() {
-                if pos < a {
-                    continue;
-                }
-                if pos >= b {
-                    break;
-                }
-                pairs.push((pos, targets[i]));
-                i += 1;
-            }
+        let mut pairs = std::mem::take(&mut self.pairs_scratch);
+        pairs.clear();
+        for (i, (pos, _)) in self.slots.iter_occupied_in(a, b).enumerate() {
+            pairs.push((pos, targets[i]));
         }
+        debug_assert_eq!(targets.len(), pairs.len(), "policy returned wrong target count");
         let before = self.slots.pending_log_len();
         spread_moves(&mut self.slots, &pairs);
         let moved = self.slots.pending_log_len() - before;
+        self.pairs_scratch = pairs;
         self.rebalances += 1;
         self.rebalance_moves += moved as u64;
         self.policy.on_rebalance(level, (a, b));
@@ -159,13 +157,15 @@ impl<P: RebalancePolicy> PmaBase<P> {
     /// itself cannot. Returns true if a rebalance happened.
     fn ensure_room(&mut self, pos: usize, extra: usize) -> bool {
         let height = self.tree.height();
-        let (leaf_a, leaf_b) = self.tree.window(0, self.tree.seg_of(pos));
+        let seg = self.tree.seg_of(pos);
+        let (leaf_a, leaf_b) = self.tree.window(0, seg);
+        // One occupancy count serves both the threshold check and the
+        // physical-room check.
+        let leaf_occ = self.slots.occupied_in(leaf_a, leaf_b);
         let leaf_cap = self.policy.upper(0, height, (leaf_a, leaf_b)) * (leaf_b - leaf_a) as f64;
-        let leaf_load = (self.slots.occupied_in(leaf_a, leaf_b) + extra) as f64;
-        if leaf_load <= leaf_cap && self.slots.occupied_in(leaf_a, leaf_b) < leaf_b - leaf_a {
+        if (leaf_occ + extra) as f64 <= leaf_cap && leaf_occ < leaf_b - leaf_a {
             return false;
         }
-        let seg = self.tree.seg_of(pos);
         for level in 1..=height {
             let (a, b) = self.tree.window(level, seg);
             let cap = self.policy.upper(level, height, (a, b)) * (b - a) as f64;
@@ -316,6 +316,13 @@ impl<P: RebalancePolicy> ListLabeling for PmaBase<P> {
     }
 
     fn insert(&mut self, rank: usize) -> OpReport {
+        let mut out = OpReport::default();
+        self.insert_into(rank, &mut out);
+        out
+    }
+
+    fn insert_into(&mut self, rank: usize, out: &mut OpReport) {
+        out.clear();
         assert!(rank <= self.len(), "insert rank {rank} > len {}", self.len());
         assert!(self.len() < self.capacity, "structure at capacity {}", self.capacity);
         // Pre-placement threshold check at the would-be insertion point.
@@ -329,18 +336,24 @@ impl<P: RebalancePolicy> ListLabeling for PmaBase<P> {
         }
         let pos = self.place_at_rank(rank);
         self.policy.on_insert(&self.tree, pos);
-        let moves = self.slots.drain_log();
-        let placed = self.slots.get(pos).map(|e| (e, pos as u32));
-        OpReport { moves, placed, removed: None }
+        self.slots.drain_log_into(&mut out.moves);
+        out.placed = self.slots.get(pos).map(|e| (e, pos as u32));
     }
 
     fn delete(&mut self, rank: usize) -> OpReport {
+        let mut out = OpReport::default();
+        self.delete_into(rank, &mut out);
+        out
+    }
+
+    fn delete_into(&mut self, rank: usize, out: &mut OpReport) {
+        out.clear();
         assert!(rank < self.len(), "delete rank {rank} >= len {}", self.len());
         let pos = self.slots.select(rank);
         let elem = self.slots.remove(pos);
         self.rebalance_after_delete(pos);
-        let moves = self.slots.drain_log();
-        OpReport { moves, placed: None, removed: Some((elem, pos as u32)) }
+        self.slots.drain_log_into(&mut out.moves);
+        out.removed = Some((elem, pos as u32));
     }
 
     /// Native bulk insert: interleave the run into the smallest calibrator
@@ -600,6 +613,63 @@ mod tests {
         let rep = pma.insert(0);
         assert_eq!(rep.cost(), rep.moves.len() as u64);
         assert_eq!(rep.cost(), 1); // empty array: a single placement
+    }
+
+    #[test]
+    fn rebalance_work_is_window_bounded_not_linear() {
+        // The counter pin that keeps the O(m)-scan-per-rebalance regression
+        // buried: every window enumeration on the rebalance path goes
+        // through the occupancy bitmap, and `SlotArray::scan_words` counts
+        // the words those scans touch. On a ~2^20-slot array, a single
+        // full-array enumeration costs ≥ m/64 ≈ 21k words; a leaf-level
+        // operation must stay orders of magnitude below that.
+        let n = 1 << 20;
+        let m = n * 13 / 10;
+        let full_scan_words = m / 64; // what one O(m) enumeration would cost
+        let mut pma = ClassicBuilder.build(n, m);
+        pma.splice(0, n / 2); // bulk prefill: one (big, legitimate) sweep
+        let rebalances_before = pma.rebalances();
+
+        // A small splice rebalances the smallest window that absorbs it —
+        // low-level, a few hundred slots.
+        let scan0 = pma.slots().scan_words();
+        pma.splice(n / 4, 8);
+        let splice_scan = pma.slots().scan_words() - scan0;
+        assert!(pma.rebalances() > rebalances_before, "splice must count as a rebalance");
+        assert!(
+            (splice_scan as usize) < full_scan_words / 8,
+            "small splice scanned {splice_scan} words (full-array scan ≈ {full_scan_words})"
+        );
+
+        // A point insert into the evenly-spread array: gap placement, no
+        // rebalance, word-local occupancy questions only.
+        let scan0 = pma.slots().scan_words();
+        pma.insert(n / 4);
+        let insert_scan = pma.slots().scan_words() - scan0;
+        assert!(
+            (insert_scan as usize) < full_scan_words / 16,
+            "point insert scanned {insert_scan} words (full-array scan ≈ {full_scan_words})"
+        );
+    }
+
+    #[test]
+    fn steady_state_inserts_reuse_the_move_log_sink() {
+        // The zero-allocation pin: once the shared report buffer has grown
+        // to a workload's high-water mark, re-running the same workload
+        // must reuse it on every single drain (no `Vec` handed out per op).
+        let n = 2048;
+        let run = |rep: &mut OpReport| {
+            let mut pma = ClassicBuilder.build(n, n * 13 / 10);
+            for i in 0..n {
+                pma.insert_into(i / 2, rep);
+            }
+            (pma.slots().log_sink_drains(), pma.slots().log_sink_reuses())
+        };
+        let mut rep = OpReport::default();
+        run(&mut rep); // grows `rep` to the workload's high-water mark
+        let (drains, reuses) = run(&mut rep);
+        assert_eq!(drains, n as u64, "one drain per insert");
+        assert_eq!(reuses, drains, "steady state must reuse the sink buffer on every op");
     }
 
     #[test]

@@ -42,6 +42,15 @@ pub struct OpReport {
 }
 
 impl OpReport {
+    /// Reset for reuse, keeping the move buffer's allocation — the
+    /// receiving end of the zero-allocation reporting path
+    /// ([`ListLabeling::insert_into`](crate::traits::ListLabeling::insert_into)).
+    pub fn clear(&mut self) {
+        self.moves.clear();
+        self.placed = None;
+        self.removed = None;
+    }
+
     /// The operation's cost in the paper's model: number of element moves.
     #[inline]
     pub fn cost(&self) -> u64 {
@@ -110,6 +119,13 @@ pub struct BulkReport {
 }
 
 impl BulkReport {
+    /// Reset for reuse, keeping both buffers' allocations (see
+    /// [`OpReport::clear`]).
+    pub fn clear(&mut self) {
+        self.moves.clear();
+        self.placed.clear();
+    }
+
     /// The batch's cost in the paper's model: number of element moves.
     #[inline]
     pub fn cost(&self) -> u64 {

@@ -13,28 +13,85 @@
 //!    the standard "rightmost-first when spreading right" discipline keep
 //!    the array sorted after *every* atomic move — a property the paper's
 //!    embedding relies on when it mirrors moves between layers.
-//! 3. **Navigation** — an occupancy Fenwick tree answers rank ↔ position
-//!    queries in O(log m).
+//! 3. **Navigation** — a word-level occupancy [`Bitmap`] (the ground truth,
+//!    one bit per slot) answers window-local questions in O(window/64)
+//!    words, and an occupancy Fenwick tree layered on top answers *global*
+//!    rank ↔ position queries in O(log m).
+//!
+//! The contents array is sentinel-packed (`ElemId::NONE` marks a free
+//! slot): 8 bytes per slot plus one bitmap bit, where a `Vec<Option<ElemId>>`
+//! would spend 16 — half the memory, double the cache density on the scans
+//! that dominate rebalances.
 
+use crate::bitmap::{Bitmap, CappedScan};
 use crate::fenwick::Fenwick;
 use crate::ids::ElemId;
 use crate::report::MoveRec;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Windows at most this wide answer [`SlotArray::occupied_in`] by bitmap
+/// popcount (≤ 32 words touched); wider windows use the Fenwick range,
+/// whose O(log m) walk wins on large spans.
+const POPCOUNT_WINDOW_MAX: usize = 2048;
+
+/// Free-slot scans examine at most this many bitmap words before falling
+/// back to the Fenwick complement search, bounding the worst case at
+/// O(cap + log² m) while keeping the (overwhelmingly common) word-local
+/// case at O(1).
+const FREE_SCAN_CAP_WORDS: usize = 32;
 
 /// An array of slots holding at most one element each, with an occupancy
 /// index and an append-only move log.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct SlotArray {
-    contents: Vec<Option<ElemId>>,
+    /// Sentinel-packed contents: `ElemId::NONE` marks a free slot.
+    contents: Vec<ElemId>,
+    /// Occupancy ground truth, one bit per slot.
+    bits: Bitmap,
+    /// Global rank/select index over the bitmap.
     occ: Fenwick,
     log: Vec<MoveRec>,
     /// Total moves ever logged (survives log draining).
     lifetime_moves: u64,
+    /// Drains served through [`drain_log_into`](Self::drain_log_into).
+    log_drains: u64,
+    /// Drains that reused the caller's buffer without reallocating.
+    log_reuses: u64,
+    /// Bitmap words examined by window scans (`iter_occupied*`, popcount
+    /// counts, free-slot scans) — the instrumentation that pins rebalance
+    /// work to O(window), not O(m). Atomic (relaxed) only so `&self`
+    /// iterators can record; this is not a synchronization point.
+    scan_words: AtomicU64,
+}
+
+impl Clone for SlotArray {
+    fn clone(&self) -> Self {
+        Self {
+            contents: self.contents.clone(),
+            bits: self.bits.clone(),
+            occ: self.occ.clone(),
+            log: self.log.clone(),
+            lifetime_moves: self.lifetime_moves,
+            log_drains: self.log_drains,
+            log_reuses: self.log_reuses,
+            scan_words: AtomicU64::new(self.scan_words.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl SlotArray {
     /// An empty array of `m` slots.
     pub fn new(m: usize) -> Self {
-        Self { contents: vec![None; m], occ: Fenwick::new(m), log: Vec::new(), lifetime_moves: 0 }
+        Self {
+            contents: vec![ElemId::NONE; m],
+            bits: Bitmap::new(m),
+            occ: Fenwick::new(m),
+            log: Vec::new(),
+            lifetime_moves: 0,
+            log_drains: 0,
+            log_reuses: 0,
+            scan_words: AtomicU64::new(0),
+        }
     }
 
     /// Number of slots.
@@ -58,25 +115,51 @@ impl SlotArray {
     /// The element at `pos`, if any.
     #[inline]
     pub fn get(&self, pos: usize) -> Option<ElemId> {
-        self.contents[pos]
+        let e = self.contents[pos];
+        (e != ElemId::NONE).then_some(e)
     }
 
     /// True if `pos` holds an element.
     #[inline]
     pub fn is_occupied(&self, pos: usize) -> bool {
-        self.contents[pos].is_some()
+        self.contents[pos] != ElemId::NONE
     }
 
-    /// Occupancy Fenwick tree (read-only).
+    /// Occupancy Fenwick tree (read-only): the global rank/select index.
+    /// The word-level [`bitmap`](Self::bitmap) is the ground truth it
+    /// mirrors.
     #[inline]
     pub fn occ(&self) -> &Fenwick {
         &self.occ
     }
 
-    /// Number of occupied slots in `[a, b)`.
+    /// The word-level occupancy bitmap (read-only ground truth).
+    #[inline]
+    pub fn bitmap(&self) -> &Bitmap {
+        &self.bits
+    }
+
+    #[inline]
+    fn note_scan(&self, words: usize) {
+        self.scan_words.fetch_add(words as u64, Ordering::Relaxed);
+    }
+
+    /// Bitmap words examined by window scans so far — the counter that
+    /// regression tests pin to prove rebalance work is O(window).
+    pub fn scan_words(&self) -> u64 {
+        self.scan_words.load(Ordering::Relaxed)
+    }
+
+    /// Number of occupied slots in `[a, b)`: bitmap popcount for word-local
+    /// windows, Fenwick range for wide ones.
     #[inline]
     pub fn occupied_in(&self, a: usize, b: usize) -> usize {
-        self.occ.range(a, b) as usize
+        if b.saturating_sub(a) <= POPCOUNT_WINDOW_MAX {
+            self.note_scan(Bitmap::words_spanned(a, b.min(self.num_slots())));
+            self.bits.count_in(a, b)
+        } else {
+            self.occ.range(a, b) as usize
+        }
     }
 
     /// Position of the element of 0-based `rank`.
@@ -102,29 +185,60 @@ impl SlotArray {
         self.occ.prefix(pos) as usize
     }
 
-    /// First free slot at or after `pos`.
+    /// First free slot at or after `pos`: a word-level bitmap scan, falling
+    /// back to the Fenwick complement search if no free slot appears within
+    /// the scan cap.
     #[inline]
     pub fn next_free(&self, pos: usize) -> Option<usize> {
-        self.occ.next_unmarked_at_or_after(pos)
+        let (scan, words) = self.bits.next_zero_capped(pos, FREE_SCAN_CAP_WORDS);
+        self.note_scan(words);
+        match scan {
+            CappedScan::Found(p) => Some(p),
+            CappedScan::Exhausted => None,
+            CappedScan::GaveUp(resume) => self.occ.next_unmarked_at_or_after(resume),
+        }
     }
 
-    /// Last free slot at or before `pos`.
+    /// Last free slot at or before `pos` (same strategy as
+    /// [`next_free`](Self::next_free)).
     #[inline]
     pub fn prev_free(&self, pos: usize) -> Option<usize> {
-        self.occ.prev_unmarked_at_or_before(pos)
+        let (scan, words) = self.bits.prev_zero_capped(pos, FREE_SCAN_CAP_WORDS);
+        self.note_scan(words);
+        match scan {
+            CappedScan::Found(p) => Some(p),
+            CappedScan::Exhausted => None,
+            CappedScan::GaveUp(resume) => self.occ.prev_unmarked_at_or_before(resume),
+        }
+    }
+
+    /// First occupied slot at or after `pos` — a word-level bitmap walk
+    /// (O(distance/64)), the iteration primitive behind range scans and
+    /// label-native cursors.
+    #[inline]
+    pub fn next_occupied_at_or_after(&self, pos: usize) -> Option<usize> {
+        self.bits.next_one(pos)
+    }
+
+    /// Last occupied slot at or before `pos`.
+    #[inline]
+    pub fn prev_occupied_at_or_before(&self, pos: usize) -> Option<usize> {
+        self.bits.prev_one(pos)
     }
 
     /// Place a brand-new element into a free slot. Logged as a move
     /// (`from == to`): the element is moved into the array, cost 1.
     pub fn place(&mut self, pos: usize, elem: ElemId) {
+        debug_assert_ne!(elem, ElemId::NONE, "placing the sentinel");
         assert!(
-            self.contents[pos].is_none(),
+            self.contents[pos] == ElemId::NONE,
             "place into occupied slot {pos} ({:?}; {} occupied of {} slots)",
             self.contents[pos],
             self.len(),
             self.num_slots()
         );
-        self.contents[pos] = Some(elem);
+        self.contents[pos] = elem;
+        self.bits.set(pos);
         self.occ.add(pos, 1);
         self.log.push(MoveRec { elem, from: pos as u32, to: pos as u32 });
         self.lifetime_moves += 1;
@@ -133,13 +247,16 @@ impl SlotArray {
     /// Remove and return the element at `pos`. Cost 0 (removal is not a
     /// move in the paper's cost model).
     pub fn remove(&mut self, pos: usize) -> ElemId {
-        let elem = self.contents[pos].take().unwrap_or_else(|| {
+        let elem = self.contents[pos];
+        if elem == ElemId::NONE {
             panic!(
                 "remove from empty slot {pos} ({} occupied of {} slots)",
                 self.len(),
                 self.num_slots()
-            )
-        });
+            );
+        }
+        self.contents[pos] = ElemId::NONE;
+        self.bits.clear(pos);
         self.occ.add(pos, -1);
         elem
     }
@@ -150,18 +267,20 @@ impl SlotArray {
     /// condition that guarantees sorted order is preserved.
     pub fn move_elem(&mut self, from: usize, to: usize) -> ElemId {
         if from == to {
-            let elem = self.contents[from].expect("move from empty slot");
+            let elem = self.contents[from];
+            assert_ne!(elem, ElemId::NONE, "move from empty slot");
             return elem;
         }
-        let elem = self.contents[from].take().unwrap_or_else(|| {
+        let elem = self.contents[from];
+        if elem == ElemId::NONE {
             panic!(
                 "move {from}->{to} from empty slot ({} occupied of {} slots)",
                 self.len(),
                 self.num_slots()
-            )
-        });
+            );
+        }
         assert!(
-            self.contents[to].is_none(),
+            self.contents[to] == ElemId::NONE,
             "move into occupied slot {to} ({:?}; {} occupied of {} slots)",
             self.contents[to],
             self.len(),
@@ -170,11 +289,14 @@ impl SlotArray {
         debug_assert!(
             {
                 let (a, b) = if from < to { (from + 1, to) } else { (to + 1, from) };
-                self.occ.range(a, b) == 0
+                self.bits.count_in(a, b) == 0
             },
             "move {from}->{to} crosses an occupied slot"
         );
-        self.contents[to] = Some(elem);
+        self.contents[from] = ElemId::NONE;
+        self.contents[to] = elem;
+        self.bits.clear(from);
+        self.bits.set(to);
         self.occ.add(from, -1);
         self.occ.add(to, 1);
         self.log.push(MoveRec { elem, from: from as u32, to: to as u32 });
@@ -182,9 +304,44 @@ impl SlotArray {
         elem
     }
 
-    /// Drain all moves logged since the last drain.
+    /// Drain all moves logged since the last drain into `dst` (cleared
+    /// first), keeping both the internal log's and `dst`'s allocations for
+    /// reuse — the zero-allocation move-log sink. In steady state (once
+    /// `dst` has grown to the workload's high-water mark) no heap traffic
+    /// occurs; [`log_sink_reuses`](Self::log_sink_reuses) counts exactly
+    /// those allocation-free drains.
+    pub fn drain_log_into(&mut self, dst: &mut Vec<MoveRec>) {
+        dst.clear();
+        self.log_drains += 1;
+        if dst.capacity() >= self.log.len() {
+            self.log_reuses += 1;
+        }
+        dst.extend_from_slice(&self.log);
+        self.log.clear();
+    }
+
+    /// Drain all moves logged since the last drain into a fresh `Vec`.
+    ///
+    /// Allocating convenience over [`drain_log_into`](Self::drain_log_into);
+    /// hot paths thread a reusable buffer instead.
     pub fn drain_log(&mut self) -> Vec<MoveRec> {
-        std::mem::take(&mut self.log)
+        let mut v = Vec::with_capacity(self.log.len());
+        self.drain_log_into(&mut v);
+        v
+    }
+
+    /// Drains served by the move-log sink so far.
+    #[inline]
+    pub fn log_sink_drains(&self) -> u64 {
+        self.log_drains
+    }
+
+    /// Drains that reused the destination buffer without reallocating —
+    /// equal to [`log_sink_drains`](Self::log_sink_drains) in steady state
+    /// (the property the allocation-free tests pin).
+    #[inline]
+    pub fn log_sink_reuses(&self) -> u64 {
+        self.log_reuses
     }
 
     /// Moves logged since the last drain, without draining.
@@ -199,28 +356,74 @@ impl SlotArray {
         self.lifetime_moves
     }
 
-    /// Iterate `(position, elem)` over occupied slots in position order.
-    pub fn iter_occupied(&self) -> impl Iterator<Item = (usize, ElemId)> + '_ {
-        self.contents.iter().enumerate().filter_map(|(i, c)| c.map(|e| (i, e)))
+    /// Iterate `(position, elem)` over occupied slots in position order —
+    /// a word-level bitmap walk over the whole array.
+    pub fn iter_occupied(&self) -> OccupiedIn<'_> {
+        self.iter_occupied_in(0, self.num_slots())
+    }
+
+    /// Iterate `(position, elem)` over occupied slots of the window
+    /// `[a, b)` in position order, touching **only** the window's bitmap
+    /// words — the O(window) enumeration primitive every rebalance path
+    /// uses (an O(m) full-array scan per rebalance is exactly the
+    /// superlinear drag the paper's cost model excludes).
+    pub fn iter_occupied_in(&self, a: usize, b: usize) -> OccupiedIn<'_> {
+        OccupiedIn { slots: self, ones: self.bits.ones_in(a, b), flushed: 0 }
     }
 
     /// Snapshot of the full layout.
     pub fn layout(&self) -> Vec<Option<ElemId>> {
-        self.contents.clone()
+        self.contents.iter().map(|&e| (e != ElemId::NONE).then_some(e)).collect()
     }
 
-    /// Verify internal consistency (occupancy tree matches contents).
-    /// O(m); test/diagnostic use only.
+    /// Heap bytes held by the physical representation (contents + bitmap +
+    /// Fenwick), for memory accounting in benches.
+    pub fn memory_bytes(&self) -> usize {
+        self.contents.capacity() * std::mem::size_of::<ElemId>()
+            + self.bits.memory_bytes()
+            + self.occ.memory_bytes()
+    }
+
+    /// Verify internal consistency: contents, bitmap and Fenwick tree must
+    /// agree at every position. One O(m) sweep (the Fenwick's point values
+    /// are recovered in O(m) total); test/diagnostic use only.
     pub fn check_consistent(&self) {
+        let vals = self.occ.point_values();
         let mut count = 0u64;
-        for (i, c) in self.contents.iter().enumerate() {
-            let marked = self.occ.range(i, i + 1) == 1;
-            assert_eq!(c.is_some(), marked, "occupancy mismatch at {i}");
-            if c.is_some() {
-                count += 1;
-            }
+        for (i, &c) in self.contents.iter().enumerate() {
+            let occupied = c != ElemId::NONE;
+            assert_eq!(occupied, self.bits.get(i), "bitmap mismatch at {i}");
+            assert_eq!(occupied as u32, vals[i], "fenwick mismatch at {i}");
+            count += occupied as u64;
         }
         assert_eq!(count, self.occ.total(), "total mismatch");
+    }
+}
+
+/// Iterator over occupied slots of a window (see
+/// [`SlotArray::iter_occupied_in`]). Flushes the number of bitmap words it
+/// examined into the array's scan instrumentation when dropped.
+pub struct OccupiedIn<'a> {
+    slots: &'a SlotArray,
+    ones: crate::bitmap::OnesIn<'a>,
+    flushed: usize,
+}
+
+impl Iterator for OccupiedIn<'_> {
+    type Item = (usize, ElemId);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        let pos = self.ones.next()?;
+        Some((pos, self.slots.contents[pos]))
+    }
+}
+
+impl Drop for OccupiedIn<'_> {
+    fn drop(&mut self) {
+        let scanned = self.ones.words_scanned();
+        self.slots.note_scan(scanned - self.flushed);
+        self.flushed = scanned;
     }
 }
 
@@ -275,13 +478,9 @@ pub fn merge_sorted(
     // Old occupants keep their order; targets at `at..at + new` are reserved
     // for the incoming run.
     let mut pairs = Vec::with_capacity(k);
-    let mut i = 0usize;
-    for pos in a..b {
-        if slots.is_occupied(pos) {
-            let t = if i < at { targets[i] } else { targets[i + new_ids.len()] };
-            pairs.push((pos, t));
-            i += 1;
-        }
+    for (i, (pos, _)) in slots.iter_occupied_in(a, b).enumerate() {
+        let t = if i < at { targets[i] } else { targets[i + new_ids.len()] };
+        pairs.push((pos, t));
     }
     spread_moves(slots, &pairs);
     new_ids
@@ -339,6 +538,26 @@ mod tests {
     }
 
     #[test]
+    fn drain_log_into_reuses_the_buffer() {
+        let (mut s, _) = filled(&[0], 64);
+        let mut buf = Vec::new();
+        s.drain_log_into(&mut buf);
+        assert_eq!(buf.len(), 1);
+        let cap = buf.capacity();
+        let drains0 = s.log_sink_drains();
+        let reuses0 = s.log_sink_reuses();
+        // Steady state: every subsequent drain must reuse `buf` in place.
+        for i in 0..100 {
+            s.move_elem(i % 2, (i + 1) % 2);
+            s.drain_log_into(&mut buf);
+            assert_eq!(buf.len(), 1);
+            assert_eq!(buf.capacity(), cap, "sink buffer reallocated");
+        }
+        assert_eq!(s.log_sink_drains() - drains0, 100);
+        assert_eq!(s.log_sink_reuses() - reuses0, 100, "every drain must be allocation-free");
+    }
+
+    #[test]
     #[should_panic(expected = "occupied")]
     fn move_into_occupied_panics() {
         let (mut s, _) = filled(&[0, 1], 4);
@@ -362,8 +581,53 @@ mod tests {
         assert_eq!(s.rank_at(0), 0);
         assert_eq!(s.next_free(1), Some(2));
         assert_eq!(s.prev_free(6), Some(5));
+        assert_eq!(s.next_occupied_at_or_after(2), Some(4));
+        assert_eq!(s.prev_occupied_at_or_before(5), Some(4));
         let got: Vec<ElemId> = s.iter_occupied().map(|(_, e)| e).collect();
         assert_eq!(got, ids);
+    }
+
+    #[test]
+    fn windowed_iteration_matches_filtered_full_iteration() {
+        let positions = [0, 3, 63, 64, 65, 127, 200, 255];
+        let (s, _) = filled(&positions, 256);
+        for (a, b) in [(0, 256), (1, 64), (63, 66), (64, 128), (100, 100), (128, 256), (250, 999)] {
+            let got: Vec<(usize, ElemId)> = s.iter_occupied_in(a, b).collect();
+            let want: Vec<(usize, ElemId)> =
+                s.iter_occupied().filter(|&(p, _)| a <= p && p < b).collect();
+            assert_eq!(got, want, "window [{a}, {b})");
+            assert_eq!(s.occupied_in(a, b.min(256)), got.len());
+        }
+    }
+
+    #[test]
+    fn windowed_iteration_scans_only_the_window() {
+        let m = 1 << 16; // 1024 words
+        let positions: Vec<usize> = (0..m).step_by(7).collect();
+        let (s, _) = filled(&positions, m);
+        let before = s.scan_words();
+        let count = s.iter_occupied_in(4096, 4096 + 128).count();
+        let scanned = s.scan_words() - before;
+        assert_eq!(count, 18);
+        assert!(scanned <= 4, "128-slot window scanned {scanned} words");
+    }
+
+    #[test]
+    fn free_scan_fallback_beyond_cap() {
+        // One long fully-occupied run forces the Fenwick fallback.
+        let m = FREE_SCAN_CAP_WORDS * 64 * 2;
+        let mut s = SlotArray::new(m);
+        let mut g = IdGen::new();
+        let free = m - 3;
+        for p in 0..m {
+            if p != free {
+                s.place(p, g.fresh());
+            }
+        }
+        assert_eq!(s.next_free(0), Some(free));
+        assert_eq!(s.prev_free(m - 1), Some(free));
+        assert_eq!(s.next_free(free + 1), None);
+        assert_eq!(s.prev_free(free - 1), None);
     }
 
     #[test]
@@ -443,5 +707,40 @@ mod tests {
         spread_moves(&mut s, &[(0, 2), (1, 5), (2, 7)]);
         let got: Vec<(usize, ElemId)> = s.iter_occupied().collect();
         assert_eq!(got, vec![(2, ids[0]), (5, ids[1]), (7, ids[2])]);
+    }
+
+    #[test]
+    fn bitmap_and_fenwick_agree_under_churn() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let m = 300;
+        let mut s = SlotArray::new(m);
+        let mut g = IdGen::new();
+        for _ in 0..3000 {
+            let p = rng.gen_range(0..m);
+            if s.is_occupied(p) {
+                s.remove(p);
+            } else {
+                s.place(p, g.fresh());
+            }
+            let q = rng.gen_range(0..m);
+            let r = rng.gen_range(0..=m);
+            assert_eq!(s.bits.count_in(q.min(r), r), s.occ.range(q.min(r), r) as usize);
+            assert_eq!(s.next_occupied_at_or_after(q), s.occ.next_marked_at_or_after(q));
+            assert_eq!(s.prev_occupied_at_or_before(q), s.occ.prev_marked_at_or_before(q));
+            assert_eq!(s.next_free(q), s.occ.next_unmarked_at_or_after(q));
+            assert_eq!(s.prev_free(q), s.occ.prev_unmarked_at_or_before(q));
+        }
+        s.check_consistent();
+    }
+
+    #[test]
+    fn memory_is_eight_bytes_and_a_bit_per_slot() {
+        let m = 1 << 12;
+        let s = SlotArray::new(m);
+        let per_slot = s.memory_bytes() as f64 / m as f64;
+        // 8 (contents) + 1/8 (bitmap) + 4 (fenwick u32) and small slack.
+        assert!(per_slot < 12.5, "per-slot memory {per_slot} too high");
+        assert!(per_slot >= 12.125, "per-slot memory {per_slot} suspiciously low");
     }
 }

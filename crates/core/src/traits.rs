@@ -44,6 +44,28 @@ pub trait ListLabeling {
     /// Panics if `rank >= len`.
     fn delete(&mut self, rank: usize) -> OpReport;
 
+    /// [`insert`](Self::insert) reporting into a caller-provided buffer:
+    /// `out` is cleared and refilled, keeping its move-buffer allocation.
+    /// The default delegates to `insert` (correct, but allocates);
+    /// structures with a native zero-allocation path override it to drain
+    /// the slot array's move log straight into `out` — in steady state a
+    /// point insert then touches the heap not at all.
+    fn insert_into(&mut self, rank: usize, out: &mut OpReport) {
+        *out = self.insert(rank);
+    }
+
+    /// [`delete`](Self::delete) into a caller-provided buffer (see
+    /// [`insert_into`](Self::insert_into)).
+    fn delete_into(&mut self, rank: usize, out: &mut OpReport) {
+        *out = self.delete(rank);
+    }
+
+    /// [`splice`](Self::splice) into a caller-provided buffer (see
+    /// [`insert_into`](Self::insert_into)).
+    fn splice_into(&mut self, rank: usize, count: usize, out: &mut BulkReport) {
+        *out = self.splice(rank, count);
+    }
+
     /// Insert `count` new elements at consecutive final ranks
     /// `rank .. rank + count` — the batch-ingest primitive. Returns one
     /// [`BulkReport`] covering the whole batch, with the new identities in
@@ -169,7 +191,7 @@ impl Iterator for RangeIter<'_> {
         let item = (self.next_rank, pos, elem);
         self.next_rank += 1;
         self.next_pos = if self.next_rank < self.end_rank {
-            self.slots.occ().next_marked_at_or_after(pos + 1)
+            self.slots.next_occupied_at_or_after(pos + 1)
         } else {
             None
         };

@@ -213,22 +213,12 @@ impl DeamortizedPma {
         let targets = even_targets(a, b, k);
         let mut left_movers = Vec::new();
         let mut right_movers = Vec::new();
-        {
-            let mut i = 0usize;
-            for (pos, elem) in self.slots.iter_occupied() {
-                if pos < a {
-                    continue;
-                }
-                if pos >= b {
-                    break;
-                }
-                let t = targets[i];
-                i += 1;
-                if t < pos {
-                    left_movers.push((elem, t));
-                } else if t > pos {
-                    right_movers.push((elem, t));
-                }
+        for (i, (pos, elem)) in self.slots.iter_occupied_in(a, b).enumerate() {
+            let t = targets[i];
+            if t < pos {
+                left_movers.push((elem, t));
+            } else if t > pos {
+                right_movers.push((elem, t));
             }
         }
         // Safe order: left-movers ascending (they are generated ascending),
@@ -270,7 +260,7 @@ impl DeamortizedPma {
             }
             let dest = if cur < target {
                 // rightward: clamp at the first occupied slot in (cur, target]
-                match self.slots.occ().next_marked_at_or_after(cur + 1) {
+                match self.slots.next_occupied_at_or_after(cur + 1) {
                     Some(fb) if fb <= target => {
                         self.stats.clamped_moves += 1;
                         if fb == cur + 1 {
@@ -282,7 +272,7 @@ impl DeamortizedPma {
                 }
             } else {
                 // leftward: clamp at the last occupied slot in [target, cur)
-                match self.slots.occ().prev_marked_at_or_before(cur - 1) {
+                match self.slots.prev_occupied_at_or_before(cur - 1) {
                     Some(fb) if fb >= target => {
                         self.stats.clamped_moves += 1;
                         if fb == cur - 1 {
@@ -586,6 +576,13 @@ impl ListLabeling for DeamortizedPma {
     }
 
     fn insert(&mut self, rank: usize) -> OpReport {
+        let mut out = OpReport::default();
+        self.insert_into(rank, &mut out);
+        out
+    }
+
+    fn insert_into(&mut self, rank: usize, out: &mut OpReport) {
+        out.clear();
         let len = self.len();
         assert!(rank <= len, "insert rank {rank} > len {len}");
         assert!(len < self.capacity, "at capacity");
@@ -593,17 +590,26 @@ impl ListLabeling for DeamortizedPma {
         let pos = self.make_room(rank);
         let id = self.place_tracked(pos);
         self.patrol_upper(pos);
-        OpReport { moves: self.slots.drain_log(), placed: Some((id, pos as u32)), removed: None }
+        self.slots.drain_log_into(&mut out.moves);
+        out.placed = Some((id, pos as u32));
     }
 
     fn delete(&mut self, rank: usize) -> OpReport {
+        let mut out = OpReport::default();
+        self.delete_into(rank, &mut out);
+        out
+    }
+
+    fn delete_into(&mut self, rank: usize, out: &mut OpReport) {
+        out.clear();
         let len = self.len();
         assert!(rank < len, "delete rank {rank} >= len {len}");
         self.run_jobs();
         let pos = self.slots.select(rank);
         let id = self.remove_tracked(pos);
         self.patrol_lower(pos);
-        OpReport { moves: self.slots.drain_log(), placed: None, removed: Some((id, pos as u32)) }
+        self.slots.drain_log_into(&mut out.moves);
+        out.removed = Some((id, pos as u32));
     }
 
     /// Native bulk insert: interleave the run into the smallest window

@@ -186,6 +186,13 @@ pub struct Embed<F: ListLabeling, R: ListLabeling> {
     /// (`(is_insert, slot_rank)`), for Lemma 4 experiments: this sequence
     /// must be identical across different R random tapes.
     shell_trace: Option<Vec<(bool, usize)>>,
+    /// Reusable buffer for the simulation's per-op reports (the mirror
+    /// path replays them move by move; reusing the buffer keeps
+    /// steady-state operations allocation-free on the logging side).
+    sim_scratch: OpReport,
+    /// Reusable buffer for the R-shell's per-op reports (buffer-slot
+    /// rotation on the slow path).
+    shell_scratch: OpReport,
 }
 
 impl<F: ListLabeling, R: ListLabeling> Embed<F, R> {
@@ -221,6 +228,8 @@ impl<F: ListLabeling, R: ListLabeling> Embed<F, R> {
             stats: EmbedStats::default(),
             rebuild_span: 0,
             shell_trace: None,
+            sim_scratch: OpReport::default(),
+            shell_scratch: OpReport::default(),
         };
         // Initialize the R-shell with all F-slots and buffer slots, evenly
         // interleaved by slot rank: the i-th slot is a buffer slot when the
@@ -567,8 +576,10 @@ impl<F: ListLabeling, R: ListLabeling> Embed<F, R> {
         if let Some(t) = &mut self.shell_trace {
             t.push((false, dummy_rank));
         }
-        let rep_d = self.shell.delete(dummy_rank);
+        let mut rep_d = std::mem::take(&mut self.shell_scratch);
+        self.shell.delete_into(dummy_rank, &mut rep_d);
         self.mirror_shell_delete(&rep_d, dummy);
+        self.shell_scratch = rep_d;
         // (ii) insert a fresh buffer slot at x's slot rank via R.
         let slot_rank = if rank == 0 {
             0
@@ -578,8 +589,10 @@ impl<F: ListLabeling, R: ListLabeling> Embed<F, R> {
         if let Some(t) = &mut self.shell_trace {
             t.push((true, slot_rank));
         }
-        let rep_i = self.shell.insert(slot_rank);
+        let mut rep_i = std::mem::take(&mut self.shell_scratch);
+        self.shell.insert_into(slot_rank, &mut rep_i);
         let p_new = self.mirror_shell(&rep_i, Some(SlotTag::Buf)).expect("shell insert must place");
+        self.shell_scratch = rep_i;
         debug_assert_eq!(self.tags.tag(p_new), SlotTag::Buf);
         // (iii) put x into the new buffer slot.
         self.tags.place_content(p_new, emb_id);
@@ -861,13 +874,21 @@ impl<F: ListLabeling, R: ListLabeling> ListLabeling for Embed<F, R> {
     }
 
     fn insert(&mut self, rank: usize) -> OpReport {
+        let mut out = OpReport::default();
+        self.insert_into(rank, &mut out);
+        out
+    }
+
+    fn insert_into(&mut self, rank: usize, out: &mut OpReport) {
+        out.clear();
         let len = self.len();
         assert!(rank <= len, "insert rank {rank} > len {len}");
         assert!(len < self.capacity, "at capacity");
         if self.checkpoint.is_some() {
             self.rebuild_span += 1;
         }
-        let sim_rep = self.sim.insert(rank);
+        let mut sim_rep = std::mem::take(&mut self.sim_scratch);
+        self.sim.insert_into(rank, &mut sim_rep);
         let c_e = sim_rep.cost();
         let (sim_id, sim_fidx) = sim_rep.placed.expect("sim insert must place");
         debug_assert_eq!(sim_id.0 as usize, self.sim2emb.len(), "sim ids must be dense");
@@ -926,11 +947,9 @@ impl<F: ListLabeling, R: ListLabeling> ListLabeling for Embed<F, R> {
                 Loc::Buffer(p) => p,
             };
         }
-        OpReport {
-            moves: self.tags.contents.drain_log(),
-            placed: Some((emb_id, placed_pos as u32)),
-            removed: None,
-        }
+        self.sim_scratch = sim_rep;
+        self.tags.contents.drain_log_into(&mut out.moves);
+        out.placed = Some((emb_id, placed_pos as u32));
     }
 
     /// Native bulk insert: complete any pending rebuild so the physical
@@ -981,6 +1000,13 @@ impl<F: ListLabeling, R: ListLabeling> ListLabeling for Embed<F, R> {
     }
 
     fn delete(&mut self, rank: usize) -> OpReport {
+        let mut out = OpReport::default();
+        self.delete_into(rank, &mut out);
+        out
+    }
+
+    fn delete_into(&mut self, rank: usize, out: &mut OpReport) {
+        out.clear();
         let len = self.len();
         assert!(rank < len, "delete rank {rank} >= len {len}");
         if self.checkpoint.is_some() {
@@ -988,7 +1014,8 @@ impl<F: ListLabeling, R: ListLabeling> ListLabeling for Embed<F, R> {
         }
         let pos = self.tags.contents.select(rank);
         let e = self.tags.contents.get(pos).expect("selected slot empty");
-        let sim_rep = self.sim.delete(rank);
+        let mut sim_rep = std::mem::take(&mut self.sim_scratch);
+        self.sim.delete_into(rank, &mut sim_rep);
         let c_e = sim_rep.cost();
         debug_assert_eq!(
             sim_rep.removed.map(|(sid, _)| self.sim2emb[sid.0 as usize]),
@@ -1021,11 +1048,9 @@ impl<F: ListLabeling, R: ListLabeling> ListLabeling for Embed<F, R> {
             }
             self.rebuild_work();
         }
-        OpReport {
-            moves: self.tags.contents.drain_log(),
-            placed: None,
-            removed: Some((e, pos as u32)),
-        }
+        self.sim_scratch = sim_rep;
+        self.tags.contents.drain_log_into(&mut out.moves);
+        out.removed = Some((e, pos as u32));
     }
 
     fn slots(&self) -> &SlotArray {

@@ -136,16 +136,8 @@ impl<P: RankPredictor> PredictedPma<P> {
         let k = self.slots.occupied_in(a, b);
         let targets = even_targets(a, b, k);
         let mut pairs = Vec::with_capacity(k);
-        let mut i = 0usize;
-        for (pos, _) in self.slots.iter_occupied() {
-            if pos < a {
-                continue;
-            }
-            if pos >= b {
-                break;
-            }
+        for (i, (pos, _)) in self.slots.iter_occupied_in(a, b).enumerate() {
             pairs.push((pos, targets[i]));
-            i += 1;
         }
         spread_moves(&mut self.slots, &pairs);
     }
@@ -292,32 +284,36 @@ impl<P: RankPredictor> ListLabeling for PredictedPma<P> {
     }
 
     fn insert(&mut self, rank: usize) -> OpReport {
+        let mut out = OpReport::default();
+        self.insert_into(rank, &mut out);
+        out
+    }
+
+    fn insert_into(&mut self, rank: usize, out: &mut OpReport) {
+        out.clear();
         let len = self.len();
         assert!(rank <= len, "insert rank {rank} > len {len}");
         assert!(len < self.capacity, "at capacity");
         let prediction = self.predictor.predict(rank, len, self.capacity);
-        if len == 0 {
-            let want = self.desired_slot(prediction, rank);
-            let pos = self.place_at(rank, want);
-            return OpReport {
-                placed: self.slots.get(pos).map(|e| (e, pos as u32)),
-                moves: self.slots.drain_log(),
-                removed: None,
-            };
+        if len > 0 {
+            let probe = self.desired_slot(prediction, rank);
+            self.ensure_room(probe);
+            // positions may have moved; the desired slot is recomputed below
         }
-        let probe = self.desired_slot(prediction, rank);
-        self.ensure_room(probe);
-        // positions may have moved; recompute the desired slot
         let want = self.desired_slot(prediction, rank);
         let pos = self.place_at(rank, want);
-        OpReport {
-            placed: self.slots.get(pos).map(|e| (e, pos as u32)),
-            moves: self.slots.drain_log(),
-            removed: None,
-        }
+        out.placed = self.slots.get(pos).map(|e| (e, pos as u32));
+        self.slots.drain_log_into(&mut out.moves);
     }
 
     fn delete(&mut self, rank: usize) -> OpReport {
+        let mut out = OpReport::default();
+        self.delete_into(rank, &mut out);
+        out
+    }
+
+    fn delete_into(&mut self, rank: usize, out: &mut OpReport) {
+        out.clear();
         let len = self.len();
         assert!(rank < len, "delete rank {rank} >= len {len}");
         let pos = self.slots.select(rank);
@@ -343,7 +339,8 @@ impl<P: RankPredictor> ListLabeling for PredictedPma<P> {
                 }
             }
         }
-        OpReport { moves: self.slots.drain_log(), placed: None, removed: Some((elem, pos as u32)) }
+        self.slots.drain_log_into(&mut out.moves);
+        out.removed = Some((elem, pos as u32));
     }
 
     fn slots(&self) -> &SlotArray {

@@ -3,6 +3,7 @@
 //! hold for arbitrary inputs, not just the curated workloads.
 
 use layered_list_labeling::adaptive::AdaptiveBuilder;
+use layered_list_labeling::api::{Backend, ListBuilder};
 use layered_list_labeling::classic::ClassicBuilder;
 use layered_list_labeling::core::ops::Op;
 use layered_list_labeling::core::testkit::run_against_oracle;
@@ -98,5 +99,71 @@ proptest! {
             total += s.apply(op).cost();
         }
         prop_assert_eq!(total, s.slots().lifetime_moves());
+    }
+
+    #[test]
+    fn windowed_iteration_and_bitmap_agree_with_fenwick_on_all_backends(
+        ops in op_seq(300, 100),
+        windows in proptest::collection::vec((any::<u16>(), any::<u16>()), 8),
+    ) {
+        // The physical-layer contracts behind window-bounded rebalances,
+        // checked under randomized churn on every selectable backend:
+        //  * iter_occupied_in(a, b) ≡ the full iteration filtered to [a, b)
+        //  * the occupancy bitmap ≡ the Fenwick index, point for point
+        //  * occupied_in / free- and occupied-neighbor queries ≡ Fenwick
+        for backend in Backend::ALL {
+            let mut s = ListBuilder::new().seed(11).backend(backend).build_fixed(100);
+            for &op in &ops {
+                s.apply(op);
+            }
+            let slots = s.slots();
+            let m = slots.num_slots();
+            // Bitmap ≡ Fenwick, point for point (one O(m) sweep).
+            let vals = slots.occ().point_values();
+            for (i, &v) in vals.iter().enumerate() {
+                prop_assert_eq!(slots.bitmap().get(i), v == 1, "backend {}", backend.name());
+                prop_assert_eq!(slots.is_occupied(i), v == 1, "backend {}", backend.name());
+            }
+            let full: Vec<_> = slots.iter_occupied().collect();
+            prop_assert_eq!(full.len(), s.len(), "backend {}", backend.name());
+            for &(wa, wb) in &windows {
+                let (a, b) = (wa as usize % (m + 1), wb as usize % (m + 1));
+                let (a, b) = (a.min(b), a.max(b));
+                let got: Vec<_> = slots.iter_occupied_in(a, b).collect();
+                let want: Vec<_> =
+                    full.iter().copied().filter(|&(p, _)| a <= p && p < b).collect();
+                prop_assert_eq!(&got, &want, "backend {} window [{}, {})", backend.name(), a, b);
+                prop_assert_eq!(
+                    slots.occupied_in(a, b), slots.occ().range(a, b) as usize,
+                    "backend {}", backend.name()
+                );
+                if a < m {
+                    prop_assert_eq!(
+                        slots.next_free(a), slots.occ().next_unmarked_at_or_after(a),
+                        "backend {}", backend.name()
+                    );
+                    prop_assert_eq!(
+                        slots.prev_free(a), slots.occ().prev_unmarked_at_or_before(a),
+                        "backend {}", backend.name()
+                    );
+                    prop_assert_eq!(
+                        slots.next_occupied_at_or_after(a),
+                        slots.occ().next_marked_at_or_after(a),
+                        "backend {}", backend.name()
+                    );
+                    prop_assert_eq!(
+                        slots.prev_occupied_at_or_before(a),
+                        slots.occ().prev_marked_at_or_before(a),
+                        "backend {}", backend.name()
+                    );
+                }
+            }
+            // Rank/select round trip through both indexes.
+            for r in 0..s.len() {
+                let pos = slots.select(r);
+                prop_assert!(slots.bitmap().get(pos), "backend {}", backend.name());
+                prop_assert_eq!(slots.rank_at(pos), r, "backend {}", backend.name());
+            }
+        }
     }
 }
