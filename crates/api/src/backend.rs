@@ -125,6 +125,22 @@ pub trait RawList {
     /// resynchronization path after a rebuild.
     fn labels_snapshot(&self) -> Vec<(Handle, usize)>;
 
+    /// Visit `(handle, label)` for every element in rank order without
+    /// materializing the [`labels_snapshot`](Self::labels_snapshot) `Vec` —
+    /// the zero-copy sweep label-table resyncs and snapshot writers stream
+    /// through.
+    fn for_each_label(&self, f: &mut dyn FnMut(Handle, usize));
+
+    /// Restore an **empty** backend to `handles.len()` elements in one
+    /// O(n) bulk sweep, binding `handles[r]` to rank `r` — the
+    /// snapshot-restore path ([`Growable::load_with_handles`]): persisted
+    /// handles stay valid and future insertions never collide with them.
+    ///
+    /// Panics if the backend is non-empty or any handle is the reserved
+    /// `u64::MAX`. Handles must be distinct (checked in debug builds;
+    /// decode paths validate before calling).
+    fn load_with_handles(&mut self, handles: &[Handle]);
+
     /// The underlying algorithm's name.
     fn backend_name(&self) -> &'static str;
 
@@ -208,6 +224,14 @@ impl<B: LabelingBuilder> RawList for Growable<B> {
         Growable::labels_snapshot(self)
     }
 
+    fn for_each_label(&self, f: &mut dyn FnMut(Handle, usize)) {
+        Growable::for_each_label(self, f)
+    }
+
+    fn load_with_handles(&mut self, handles: &[Handle]) {
+        Growable::load_with_handles(self, handles)
+    }
+
     fn backend_name(&self) -> &'static str {
         Growable::backend_name(self)
     }
@@ -255,7 +279,9 @@ impl Backend {
         Backend::Corollary12,
     ];
 
-    /// A short stable name (for tables, logs, and plots).
+    /// A short stable name (for tables, logs, plots, and the snapshot
+    /// header's backend field — [`FromStr`](std::str::FromStr) round-trips
+    /// it).
     pub fn name(self) -> &'static str {
         match self {
             Backend::Classic => "classic",
@@ -266,6 +292,66 @@ impl Backend {
             Backend::Corollary12 => "corollary12",
         }
     }
+}
+
+impl std::fmt::Display for Backend {
+    /// Formats as [`name`](Backend::name); `to_string()` and
+    /// [`str::parse`] round-trip.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when [`Backend::from_str`](std::str::FromStr) meets a
+/// string that is no backend's [`name`](Backend::name).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseBackendError {
+    /// The string that failed to parse.
+    pub unknown: String,
+}
+
+impl std::fmt::Display for ParseBackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown backend {:?} (expected one of: ", self.unknown)?;
+        for (i, b) in Backend::ALL.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(b.name())?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl std::error::Error for ParseBackendError {}
+
+impl std::str::FromStr for Backend {
+    type Err = ParseBackendError;
+
+    /// Parses the exact strings [`name`](Backend::name) produces — the
+    /// stable identifiers used by tables, CLI flags, and snapshot headers.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Backend::ALL
+            .into_iter()
+            .find(|b| b.name() == s)
+            .ok_or_else(|| ParseBackendError { unknown: s.to_string() })
+    }
+}
+
+/// The resolved configuration of a [`ListBuilder`] — everything needed to
+/// rebuild an equivalent backend later, which is exactly what a snapshot
+/// header records (see the [`persist`](crate::persist) module). Every
+/// [`ErasedList`] carries the config it was built from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ListConfig {
+    /// The selected algorithm.
+    pub backend: Backend,
+    /// The random-tape seed.
+    pub seed: u64,
+    /// The pre-growth capacity floor (a hint, not persisted state).
+    pub initial_capacity: usize,
+    /// The Corollary 12 prediction-error budget (ignored elsewhere).
+    pub eta: usize,
 }
 
 /// Configuration entry point for every container in this crate.
@@ -300,6 +386,28 @@ impl ListBuilder {
     /// grows on demand — `n` is never chosen up front).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A builder replaying a previously captured [`ListConfig`] — the
+    /// snapshot-restore path rebuilds the recorded backend through here.
+    pub fn from_config(cfg: ListConfig) -> Self {
+        Self {
+            backend: cfg.backend,
+            seed: cfg.seed,
+            initial_capacity: cfg.initial_capacity.max(1),
+            eta: cfg.eta.max(1),
+        }
+    }
+
+    /// The builder's current configuration (what [`ListBuilder::build`]
+    /// stamps into the [`ErasedList`] and snapshots persist).
+    pub fn config(&self) -> ListConfig {
+        ListConfig {
+            backend: self.backend,
+            seed: self.seed,
+            initial_capacity: self.initial_capacity,
+            eta: self.eta,
+        }
     }
 
     /// Select the algorithm.
@@ -361,7 +469,7 @@ impl ListBuilder {
             Backend::Corollary11 => Box::new(Growable::new(corollary11_builder(self.seed), cap)),
             Backend::Corollary12 => Box::new(Growable::new(self.corollary12_scaled(), cap)),
         };
-        ErasedList { inner }
+        ErasedList { inner, config: self.config() }
     }
 
     /// Build the configured backend as a **fixed-capacity** structure
@@ -414,6 +522,7 @@ impl ListBuilder {
 /// across threads and sit behind locks (see the `lll-sharded` crate).
 pub struct ErasedList {
     inner: Box<dyn RawList + Send + Sync>,
+    config: ListConfig,
 }
 
 impl ErasedList {
@@ -426,6 +535,12 @@ impl ErasedList {
     /// Delete at `rank`, returning the removed element's handle.
     pub fn delete(&mut self, rank: usize) -> Handle {
         self.inner.delete(rank)
+    }
+
+    /// The configuration this list was built from — what a snapshot header
+    /// records so restore can rebuild an equivalent backend.
+    pub fn config(&self) -> ListConfig {
+        self.config
     }
 }
 
@@ -502,6 +617,14 @@ impl RawList for ErasedList {
         self.inner.labels_snapshot()
     }
 
+    fn for_each_label(&self, f: &mut dyn FnMut(Handle, usize)) {
+        self.inner.for_each_label(f)
+    }
+
+    fn load_with_handles(&mut self, handles: &[Handle]) {
+        self.inner.load_with_handles(handles)
+    }
+
     fn backend_name(&self) -> &'static str {
         self.inner.backend_name()
     }
@@ -564,6 +687,41 @@ mod tests {
         assert_eq!(stat.len(), RawList::len(&dynn));
         for r in (0..200).step_by(17) {
             assert_eq!(Growable::label_of_rank(&stat, r), dynn.label_of_rank(r));
+        }
+    }
+
+    #[test]
+    fn backend_display_from_str_roundtrip() {
+        for backend in Backend::ALL {
+            assert_eq!(backend.to_string(), backend.name());
+            assert_eq!(backend.name().parse::<Backend>(), Ok(backend));
+        }
+        let err = "btree".parse::<Backend>().unwrap_err();
+        assert_eq!(err.unknown, "btree");
+        let msg = err.to_string();
+        assert!(msg.contains("btree") && msg.contains("corollary11"), "unhelpful: {msg}");
+        // Parsing is exact: no case folding, no whitespace trimming.
+        assert!("Classic".parse::<Backend>().is_err());
+        assert!(" classic".parse::<Backend>().is_err());
+    }
+
+    #[test]
+    fn erased_list_remembers_its_config() {
+        let b = ListBuilder::new().backend(Backend::Randomized).seed(99).eta(7);
+        let list = b.build();
+        assert_eq!(list.config(), b.config());
+        assert_eq!(list.config().backend, Backend::Randomized);
+        assert_eq!(list.config().seed, 99);
+        // from_config rebuilds an equivalent backend: same structure layout
+        // for the same operations.
+        let mut a = ListBuilder::from_config(list.config()).build();
+        let mut c = b.build();
+        for i in 0..100 {
+            a.insert(i / 3);
+            c.insert(i / 3);
+        }
+        for r in 0..100 {
+            assert_eq!(a.label_of_rank(r), c.label_of_rank(r), "layout diverged at rank {r}");
         }
     }
 

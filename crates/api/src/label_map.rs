@@ -11,10 +11,12 @@
 
 use crate::backend::{ErasedList, ListBuilder, RawList};
 use crate::cursor::MapCursor;
+use crate::persist::{Codec, ContainerKind, Header, SnapshotError};
 use lll_core::growable::Handle;
 use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::fmt;
+use std::io::{Read, Write};
 use std::ops::{Bound, RangeBounds};
 
 /// A dynamically sized sorted map with `BTreeMap`-shaped point operations
@@ -369,13 +371,12 @@ impl<K: Ord, V, L: RawList> LabelMap<K, V, L> {
         Range { map: self, next: start, end: end.max(start) }
     }
 
-    /// Iterate all entries in ascending key order — one snapshot sweep of
-    /// the backend's slot array, with no per-step rank resolution (unlike
-    /// [`range`](Self::range), which resolves ranks lazily so it can stay
-    /// cheap on small sub-ranges).
+    /// Iterate all entries in ascending key order — a label-to-label walk
+    /// of the backend's occupancy structure, allocating nothing and
+    /// resolving no ranks per step (unlike [`range`](Self::range), which
+    /// resolves ranks lazily so it can stay cheap on small sub-ranges).
     pub fn iter(&self) -> Iter<'_, K, V, L> {
-        let order: Vec<Handle> = self.list.labels_snapshot().iter().map(|&(h, _)| h).collect();
-        Iter { map: self, order: order.into_iter() }
+        Iter { map: self, label: self.list.first_label(), remaining: self.len() }
     }
 
     /// Iterate keys in ascending order.
@@ -474,6 +475,60 @@ impl<K: Ord, V, L: RawList> LabelMap<K, V, L> {
     }
 }
 
+impl<K: Ord + Codec, V: Codec> LabelMap<K, V> {
+    /// Write a durable snapshot of the map: the versioned header (backend,
+    /// seed, η, entry count) followed by every `(key, value)` pair in
+    /// ascending key order — one label-to-label sweep of the slot array,
+    /// no intermediate buffers. Labels themselves are **not** persisted:
+    /// they are ephemeral artifacts of the rebalancing scheme, and only
+    /// rank order is semantic (see the [`persist`](crate::persist) module
+    /// docs).
+    ///
+    /// Writing to a `File`? Wrap it in a [`std::io::BufWriter`] — the
+    /// encoder issues one small write per field.
+    ///
+    /// ```
+    /// use lll_api::LabelMap;
+    ///
+    /// let map = LabelMap::from_sorted_iter((0..100u64).map(|k| (k, k * 2)));
+    /// let mut buf = Vec::new();
+    /// map.write_snapshot(&mut buf).unwrap();
+    /// let back: LabelMap<u64, u64> = LabelMap::read_snapshot(&mut buf.as_slice()).unwrap();
+    /// assert_eq!(back.len(), 100);
+    /// assert_eq!(back.get(&42), Some(&84));
+    /// ```
+    pub fn write_snapshot<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError> {
+        Header::new(ContainerKind::LabelMap, self.list.config(), self.len() as u64).write_to(w)?;
+        for (k, v) in self.iter() {
+            k.encode(w)?;
+            v.encode(w)?;
+        }
+        Ok(())
+    }
+
+    /// Restore a map from a snapshot written by
+    /// [`write_snapshot`](Self::write_snapshot): rebuild the recorded
+    /// backend (same algorithm, seed, and η), then land the decoded sorted
+    /// run through the O(n) bulk-load sweep — exactly one move per element,
+    /// no per-op replay, regardless of the backend's per-operation movement
+    /// bound.
+    ///
+    /// Never panics on bad input: truncated, corrupted, version- or
+    /// container-mismatched streams return the matching
+    /// [`SnapshotError`] variant (keys out of order are
+    /// [`SnapshotError::Corrupt`]). Reading from a `File`? Wrap it in a
+    /// [`std::io::BufReader`].
+    pub fn read_snapshot<R: Read + ?Sized>(r: &mut R) -> Result<Self, SnapshotError> {
+        let header = Header::read_expecting(r, ContainerKind::LabelMap)?;
+        let count = usize::try_from(header.count)
+            .map_err(|_| SnapshotError::Corrupt("entry count exceeds host width".into()))?;
+        let entries = crate::persist::decode_sorted_run::<K, V, R>(r, count, "LabelMap")?;
+        let mut map: Self = ListBuilder::from_config(header.config()).label_map();
+        map.extend_sorted(entries);
+        Ok(map)
+    }
+}
+
 impl<K: Ord, V, L: RawList> Extend<(K, V)> for LabelMap<K, V, L> {
     /// Bulk-aware extension: the input is buffered, and if it arrives
     /// sorted ascending by key it is merged via the O(n) bulk path
@@ -511,23 +566,27 @@ impl<'a, K: Ord, V, L: RawList> IntoIterator for &'a LabelMap<K, V, L> {
 }
 
 /// Iterator over all entries of a [`LabelMap`] in ascending key order (see
-/// [`LabelMap::iter`]).
+/// [`LabelMap::iter`]): a label-to-label occupancy walk, O(1) space.
 pub struct Iter<'a, K: Ord, V, L: RawList> {
     map: &'a LabelMap<K, V, L>,
-    order: std::vec::IntoIter<Handle>,
+    label: Option<usize>,
+    remaining: usize,
 }
 
 impl<'a, K: Ord, V, L: RawList> Iterator for Iter<'a, K, V, L> {
     type Item = (&'a K, &'a V);
 
     fn next(&mut self) -> Option<Self::Item> {
-        let h = self.order.next()?;
+        let l = self.label?;
+        let h = self.map.list.handle_at_label(l)?;
+        self.label = self.map.list.next_label_after(l);
+        self.remaining -= 1;
         let (k, v) = self.map.pair_of(h);
         Some((k, v))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        self.order.size_hint()
+        (self.remaining, Some(self.remaining))
     }
 }
 
@@ -535,35 +594,40 @@ impl<K: Ord, V, L: RawList> ExactSizeIterator for Iter<'_, K, V, L> {}
 
 impl<K: Ord, V, L: RawList> IntoIterator for LabelMap<K, V, L> {
     type Item = (K, V);
-    type IntoIter = IntoIter<K, V>;
+    type IntoIter = IntoIter<K, V, L>;
 
-    /// Consume the map, yielding owned entries in ascending key order.
+    /// Consume the map, yielding owned entries in ascending key order —
+    /// the same O(1)-space occupancy walk as [`LabelMap::iter`], over the
+    /// moved-in backend.
     fn into_iter(self) -> Self::IntoIter {
-        let order: Vec<Handle> = self.list.labels_snapshot().iter().map(|&(h, _)| h).collect();
-        IntoIter { order: order.into_iter(), entry: self.entry }
+        let label = self.list.first_label();
+        IntoIter { list: self.list, label, entry: self.entry }
     }
 }
 
 /// Owning iterator over a [`LabelMap`]'s entries in ascending key order.
-pub struct IntoIter<K, V> {
-    order: std::vec::IntoIter<Handle>,
+pub struct IntoIter<K, V, L: RawList = ErasedList> {
+    list: L,
+    label: Option<usize>,
     entry: HashMap<Handle, (K, V)>,
 }
 
-impl<K, V> Iterator for IntoIter<K, V> {
+impl<K, V, L: RawList> Iterator for IntoIter<K, V, L> {
     type Item = (K, V);
 
     fn next(&mut self) -> Option<Self::Item> {
-        let h = self.order.next()?;
+        let l = self.label?;
+        let h = self.list.handle_at_label(l)?;
+        self.label = self.list.next_label_after(l);
         self.entry.remove(&h)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        self.order.size_hint()
+        (self.entry.len(), Some(self.entry.len()))
     }
 }
 
-impl<K, V> ExactSizeIterator for IntoIter<K, V> {}
+impl<K, V, L: RawList> ExactSizeIterator for IntoIter<K, V, L> {}
 
 impl<K: Ord + fmt::Debug, V: fmt::Debug, L: RawList> fmt::Debug for LabelMap<K, V, L> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -814,6 +878,61 @@ mod tests {
         assert_eq!(map.pop_last(), None);
         map.insert(7, ());
         assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn iter_walks_labels_without_rank_resolution_or_snapshot_allocs() {
+        use lll_classic::ClassicBuilder;
+        let mut map: LabelMap<u32, u32, _> =
+            LabelMap::with_backend(ListBuilder::new().build_growable(ClassicBuilder));
+        for k in 0..500 {
+            map.insert(k * 2, k);
+        }
+        let before = map.backend().rank_resolutions();
+        let collected: Vec<(u32, u32)> = map.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(collected.len(), 500);
+        assert!(collected.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(
+            map.backend().rank_resolutions(),
+            before,
+            "iter must walk labels, not resolve ranks"
+        );
+        // ExactSizeIterator stays honest mid-walk.
+        let mut it = map.iter();
+        assert_eq!(it.len(), 500);
+        it.next();
+        it.next();
+        assert_eq!(it.len(), 498);
+        // The owning iterator walks the same way.
+        let owned: Vec<(u32, u32)> = map.into_iter().collect();
+        assert_eq!(owned, collected);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_entries_and_order() {
+        for backend in Backend::ALL {
+            let mut map: LabelMap<u64, String> =
+                ListBuilder::new().backend(backend).seed(21).label_map();
+            for k in 0..300u64 {
+                map.insert(k * 7 % 1024, format!("v{k}"));
+            }
+            let mut buf = Vec::new();
+            map.write_snapshot(&mut buf).unwrap();
+            let back: LabelMap<u64, String> = LabelMap::read_snapshot(&mut buf.as_slice()).unwrap();
+            assert_eq!(back.len(), map.len(), "{backend}");
+            assert_eq!(back.backend_name(), map.backend_name(), "{backend}");
+            assert!(back.iter().eq(map.iter()), "{backend} iteration diverged");
+        }
+    }
+
+    #[test]
+    fn snapshot_of_empty_map_roundtrips() {
+        let map: LabelMap<u8, u8> = LabelMap::new();
+        let mut buf = Vec::new();
+        map.write_snapshot(&mut buf).unwrap();
+        let back: LabelMap<u8, u8> = LabelMap::read_snapshot(&mut buf.as_slice()).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.iter().len(), 0);
     }
 
     #[test]

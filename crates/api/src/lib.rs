@@ -23,6 +23,14 @@
 //!   over the slot array's occupancy structure: seek once, then step
 //!   neighbor-to-neighbor with zero per-step rank→label resolution, and
 //!   (mutably) edit at the cursor across rebalances and growth rebuilds.
+//! * [`persist`] — durable snapshots: a versioned, little-endian binary
+//!   format over `std::io` ([`LabelMap::write_snapshot`] /
+//!   [`LabelMap::read_snapshot`], [`OrderedList::write_snapshot`] /
+//!   [`OrderedList::read_snapshot`]). Only the sorted run is persisted —
+//!   labels are ephemeral — so restore is the O(n) bulk sweep, one move
+//!   per element; `OrderedList` snapshots carry the handle↔rank table, so
+//!   pre-snapshot handles stay valid after restore. Decoders return
+//!   [`SnapshotError`], never panic.
 //! * [`ListBuilder`] — the configuration entry point:
 //!   `ListBuilder::new().backend(Backend::Corollary11).seed(42).build()`.
 //!   Backends are selected at runtime ([`Backend`]), wrapped in
@@ -39,11 +47,13 @@ mod backend;
 pub mod cursor;
 pub mod label_map;
 pub mod ordered_list;
+pub mod persist;
 
-pub use backend::{Backend, ErasedList, ListBuilder, RawList};
+pub use backend::{Backend, ErasedList, ListBuilder, ListConfig, ParseBackendError, RawList};
 pub use cursor::{Cursor, CursorMut, MapCursor};
 pub use label_map::{LabelMap, Range};
 pub use ordered_list::OrderedList;
+pub use persist::{Codec, SnapshotError};
 
 // Re-exported so API users can hold handles and read reports without
 // depending on lll-core directly.

@@ -13,12 +13,14 @@
 
 use crate::backend::{ErasedList, ListBuilder, RawList};
 use crate::cursor::{Cursor, CursorMut};
+use crate::persist::{Codec, ContainerKind, Header, SnapshotError};
 use lll_core::growable::Handle;
 use lll_core::ids::ElemId;
 use lll_core::report::{BulkReport, OpReport};
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::fmt;
+use std::io::{Read, Write};
 
 /// A dynamically sized ordered list with stable handles, O(1) `order`
 /// queries, and handle-relative insertion.
@@ -192,12 +194,14 @@ impl<V, L: RawList> OrderedList<V, L> {
     }
 
     /// Rebuild the label table from a full backend sweep (the post-rebuild
-    /// path: a rebuild rewrites every label).
+    /// path: a rebuild rewrites every label). Streams through the backend's
+    /// zero-copy label visitor — no intermediate snapshot `Vec`.
     fn resync(&mut self) {
         self.label.clear();
-        for (h, pos) in self.list.labels_snapshot() {
-            self.label.insert(h, pos as u32);
-        }
+        let label = &mut self.label;
+        self.list.for_each_label(&mut |h, pos| {
+            label.insert(h, pos as u32);
+        });
     }
 
     /// Insert `value` at `rank`, returning its stable handle.
@@ -333,10 +337,16 @@ impl<V, L: RawList> OrderedList<V, L> {
         while self.pop_back().is_some() {}
     }
 
-    /// Iterate `(handle, &value)` in list order.
-    pub fn iter(&self) -> Iter<'_, V> {
-        let snap: Vec<Handle> = self.list.labels_snapshot().iter().map(|&(h, _)| h).collect();
-        Iter { order: snap.into_iter(), values: &self.value }
+    /// Iterate `(handle, &value)` in list order — a label-to-label walk of
+    /// the backend's occupancy structure: O(1) space, no per-step rank
+    /// resolution.
+    pub fn iter(&self) -> Iter<'_, V, L> {
+        Iter {
+            list: &self.list,
+            values: &self.value,
+            label: self.list.first_label(),
+            remaining: self.len(),
+        }
     }
 
     /// Iterate values in list order.
@@ -389,52 +399,137 @@ impl<V, L: RawList> OrderedList<V, L> {
     }
 }
 
-/// Iterator over `(Handle, &V)` in list order (see [`OrderedList::iter`]).
-pub struct Iter<'a, V> {
-    order: std::vec::IntoIter<Handle>,
-    values: &'a HashMap<Handle, V>,
+impl<V: Codec> OrderedList<V> {
+    /// Write a durable snapshot of the list: the versioned header (backend,
+    /// seed, η, element count) followed by every `(handle, value)` pair in
+    /// **rank order** — the handle↔rank table rides along, so handles
+    /// issued before the snapshot stay valid in the restored list. Labels
+    /// are not persisted (only rank order is semantic; the restored layout
+    /// is rebuilt by the bulk sweep).
+    ///
+    /// Writing to a `File`? Wrap it in a [`std::io::BufWriter`] — the
+    /// encoder issues one small write per field.
+    ///
+    /// ```
+    /// use lll_api::OrderedList;
+    ///
+    /// let mut list = OrderedList::new();
+    /// let a = list.push_back("a".to_string());
+    /// let b = list.push_back("b".to_string());
+    /// let mut buf = Vec::new();
+    /// list.write_snapshot(&mut buf).unwrap();
+    /// let back: OrderedList<String> = OrderedList::read_snapshot(&mut buf.as_slice()).unwrap();
+    /// // Pre-snapshot handles resolve to the same elements after restore.
+    /// assert_eq!(back.get(a), Some(&"a".to_string()));
+    /// assert!(back.precedes(a, b));
+    /// ```
+    pub fn write_snapshot<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError> {
+        Header::new(ContainerKind::OrderedList, self.list.config(), self.len() as u64)
+            .write_to(w)?;
+        for (h, v) in self.iter() {
+            h.0.encode(w)?;
+            v.encode(w)?;
+        }
+        Ok(())
+    }
+
+    /// Restore a list from a snapshot written by
+    /// [`write_snapshot`](Self::write_snapshot): rebuild the recorded
+    /// backend, land the decoded run through the O(n) handle-preserving
+    /// bulk sweep ([`Growable::load_with_handles`]), and resync the label
+    /// table once. Handles held from before the snapshot resolve to the
+    /// same elements — same values, same relative order — and fresh
+    /// insertions never collide with restored handles.
+    ///
+    /// Never panics on bad input: truncated, corrupted, version- or
+    /// container-mismatched streams return the matching [`SnapshotError`]
+    /// variant (duplicate handles are [`SnapshotError::Corrupt`]). Reading
+    /// from a `File`? Wrap it in a [`std::io::BufReader`].
+    ///
+    /// [`Growable::load_with_handles`]: lll_core::growable::Growable::load_with_handles
+    pub fn read_snapshot<R: Read + ?Sized>(r: &mut R) -> Result<Self, SnapshotError> {
+        let header = Header::read_expecting(r, ContainerKind::OrderedList)?;
+        let count = usize::try_from(header.count)
+            .map_err(|_| SnapshotError::Corrupt("element count exceeds host width".into()))?;
+        let mut handles: Vec<Handle> = Vec::with_capacity(count.min(1 << 16));
+        let mut values: HashMap<Handle, V> = HashMap::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            let raw = u64::decode(r)?;
+            if raw == u64::MAX {
+                return Err(SnapshotError::Corrupt("reserved handle value".into()));
+            }
+            let v = V::decode(r)?;
+            // The value table doubles as the duplicate detector: one hash
+            // structure, one probe per entry.
+            if values.insert(Handle(raw), v).is_some() {
+                return Err(SnapshotError::Corrupt(format!("duplicate handle {raw}")));
+            }
+            handles.push(Handle(raw));
+        }
+        let mut list = ListBuilder::from_config(header.config()).build();
+        list.load_with_handles(&handles);
+        let mut restored =
+            Self { list, label: HashMap::new(), value: values, scratch: OpReport::default() };
+        restored.resync();
+        Ok(restored)
+    }
 }
 
-impl<'a, V> Iterator for Iter<'a, V> {
+/// Iterator over `(Handle, &V)` in list order (see [`OrderedList::iter`]):
+/// a label-to-label occupancy walk, O(1) space.
+pub struct Iter<'a, V, L: RawList = ErasedList> {
+    list: &'a L,
+    values: &'a HashMap<Handle, V>,
+    label: Option<usize>,
+    remaining: usize,
+}
+
+impl<'a, V, L: RawList> Iterator for Iter<'a, V, L> {
     type Item = (Handle, &'a V);
 
     fn next(&mut self) -> Option<Self::Item> {
-        let h = self.order.next()?;
+        let l = self.label?;
+        let h = self.list.handle_at_label(l)?;
+        self.label = self.list.next_label_after(l);
+        self.remaining -= 1;
         Some((h, &self.values[&h]))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        self.order.size_hint()
+        (self.remaining, Some(self.remaining))
     }
 }
 
-impl<V> ExactSizeIterator for Iter<'_, V> {}
+impl<V, L: RawList> ExactSizeIterator for Iter<'_, V, L> {}
 
 /// Owning iterator over values in list order (see
 /// [`OrderedList::into_iter`](IntoIterator)).
-pub struct IntoIter<V> {
-    order: std::vec::IntoIter<Handle>,
+pub struct IntoIter<V, L: RawList = ErasedList> {
+    list: L,
+    label: Option<usize>,
     values: HashMap<Handle, V>,
 }
 
-impl<V> Iterator for IntoIter<V> {
+impl<V, L: RawList> Iterator for IntoIter<V, L> {
     type Item = V;
 
     fn next(&mut self) -> Option<Self::Item> {
-        let h = self.order.next()?;
+        let l = self.label?;
+        let h = self.list.handle_at_label(l)?;
+        self.label = self.list.next_label_after(l);
         self.values.remove(&h)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        self.order.size_hint()
+        (self.values.len(), Some(self.values.len()))
     }
 }
 
-impl<V> ExactSizeIterator for IntoIter<V> {}
+impl<V, L: RawList> ExactSizeIterator for IntoIter<V, L> {}
 
 impl<'a, V, L: RawList> IntoIterator for &'a OrderedList<V, L> {
     type Item = (Handle, &'a V);
-    type IntoIter = Iter<'a, V>;
+    type IntoIter = Iter<'a, V, L>;
 
     fn into_iter(self) -> Self::IntoIter {
         self.iter()
@@ -443,12 +538,14 @@ impl<'a, V, L: RawList> IntoIterator for &'a OrderedList<V, L> {
 
 impl<V, L: RawList> IntoIterator for OrderedList<V, L> {
     type Item = V;
-    type IntoIter = IntoIter<V>;
+    type IntoIter = IntoIter<V, L>;
 
-    /// Consume the list, yielding owned values in list order.
+    /// Consume the list, yielding owned values in list order — the same
+    /// O(1)-space occupancy walk as [`OrderedList::iter`], over the
+    /// moved-in backend.
     fn into_iter(self) -> Self::IntoIter {
-        let order: Vec<Handle> = self.list.labels_snapshot().iter().map(|&(h, _)| h).collect();
-        IntoIter { order: order.into_iter(), values: self.value }
+        let label = self.list.first_label();
+        IntoIter { list: self.list, label, values: self.value }
     }
 }
 
@@ -674,6 +771,80 @@ mod tests {
         let (d1, r1) = slots(&ol);
         assert_eq!(d1 - d0, 1000, "one drain per operation");
         assert_eq!(r1 - r0, d1 - d0, "every steady-state drain must reuse its buffer");
+    }
+
+    #[test]
+    fn iter_walks_labels_without_rank_resolution() {
+        use lll_classic::ClassicBuilder;
+        let backend = ListBuilder::new().build_growable(ClassicBuilder);
+        let mut ol: OrderedList<u32, _> = OrderedList::with_backend(backend);
+        for i in 0..400 {
+            ol.insert_at(i / 2, i as u32);
+        }
+        let before = ol.backend().rank_resolutions();
+        let walked: Vec<u32> = ol.iter().map(|(_, v)| *v).collect();
+        assert_eq!(walked.len(), 400);
+        assert_eq!(
+            ol.backend().rank_resolutions(),
+            before,
+            "iter must walk labels, not resolve ranks"
+        );
+        let mut it = ol.iter();
+        assert_eq!(it.len(), 400);
+        it.next();
+        assert_eq!(it.len(), 399);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_keeps_handles_valid() {
+        for backend in Backend::ALL {
+            let mut ol: OrderedList<u64> =
+                ListBuilder::new().backend(backend).seed(3).initial_capacity(16).ordered_list();
+            let mut handles = Vec::new();
+            for i in 0..300u64 {
+                handles.push(ol.insert_at((i / 3) as usize, i));
+            }
+            // Churn so handle ids are non-contiguous.
+            for i in (0..300).step_by(7) {
+                ol.remove(handles[i]);
+            }
+            let live: Vec<(Handle, u64)> = ol.iter().map(|(h, v)| (h, *v)).collect();
+            let mut buf = Vec::new();
+            ol.write_snapshot(&mut buf).unwrap();
+            let back: OrderedList<u64> = OrderedList::read_snapshot(&mut buf.as_slice()).unwrap();
+            assert_eq!(back.len(), ol.len(), "{backend}");
+            back.check_labels();
+            // Pre-snapshot handles resolve to the same elements, in the
+            // same order, with O(1) order queries intact.
+            assert_eq!(back.iter().map(|(h, v)| (h, *v)).collect::<Vec<_>>(), live, "{backend}");
+            for w in live.windows(2) {
+                assert!(back.precedes(w[0].0, w[1].0), "{backend} order broke");
+            }
+            for (i, &(h, v)) in live.iter().enumerate() {
+                assert_eq!(back.get(h), Some(&v), "{backend} value moved");
+                assert_eq!(back.rank(h), Some(i), "{backend} rank moved");
+            }
+            // Removed handles stay invalid after restore.
+            assert_eq!(back.get(handles[0]), None, "{backend}");
+        }
+    }
+
+    #[test]
+    fn restored_list_keeps_growing_without_handle_collisions() {
+        let mut ol: OrderedList<u32> = OrderedList::new();
+        let old = ol.extend_back(0..50);
+        let mut buf = Vec::new();
+        ol.write_snapshot(&mut buf).unwrap();
+        let mut back: OrderedList<u32> = OrderedList::read_snapshot(&mut buf.as_slice()).unwrap();
+        let fresh = back.extend_back(50..100);
+        for h in &fresh {
+            assert!(!old.contains(h), "restored allocator reused a persisted handle");
+        }
+        assert_eq!(back.len(), 100);
+        back.check_labels();
+        assert!(back.precedes(old[49], fresh[0]));
+        let values: Vec<u32> = back.values().copied().collect();
+        assert_eq!(values, (0..100).collect::<Vec<_>>());
     }
 
     #[test]

@@ -177,7 +177,19 @@ impl<B: LabelingBuilder> Growable<B> {
     /// left-to-right sweep of the slot array. This is the resynchronization
     /// path for label tables after a rebuild.
     pub fn labels_snapshot(&self) -> Vec<(Handle, usize)> {
-        self.inner.slots().iter_occupied().map(|(pos, e)| (self.handle_of[&e], pos)).collect()
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each_label(|h, pos| out.push((h, pos)));
+        out
+    }
+
+    /// Visit `(handle, label)` for every element in rank order — the
+    /// zero-copy form of [`labels_snapshot`](Self::labels_snapshot): one
+    /// left-to-right occupancy sweep, no intermediate `Vec`. Label-table
+    /// resyncs and snapshot writers stream through here.
+    pub fn for_each_label(&self, mut f: impl FnMut(Handle, usize)) {
+        for (pos, e) in self.inner.slots().iter_occupied() {
+            f(self.handle_of[&e], pos);
+        }
     }
 
     /// The inner algorithm's name (stable across rebuilds).
@@ -226,6 +238,16 @@ impl<B: LabelingBuilder> Growable<B> {
             (0..self.len()).map(|r| self.handle_of[&self.inner.elem_at_rank(r)]).collect();
         let fresh_handles: Vec<Handle> = (0..count).map(|_| Handle(self.ids.fresh().0)).collect();
         order.splice(rank..rank, fresh_handles.iter().copied());
+        self.rebuild_with_order(new_capacity, order);
+        fresh_handles
+    }
+
+    /// The shared rebuild tail: land `order` (every element's handle, in
+    /// final rank order) in a fresh structure of `new_capacity` via one
+    /// bulk splice, remap identities, and bump the epoch exactly once.
+    /// Both the growth/shrink rebuilds and the snapshot-restore path go
+    /// through here, so their semantics cannot drift apart.
+    fn rebuild_with_order(&mut self, new_capacity: usize, order: Vec<Handle>) {
         let mut fresh = self.builder.build_default(new_capacity);
         let bulk = fresh.splice(0, order.len());
         self.stats.rebuild_moves += bulk.cost();
@@ -233,7 +255,6 @@ impl<B: LabelingBuilder> Growable<B> {
         self.handle_of = bulk.placed.iter().copied().zip(order).collect();
         self.inner = fresh;
         self.epoch += 1;
-        fresh_handles
     }
 
     /// Insert a new element at `rank`, growing if necessary. The move log
@@ -366,6 +387,49 @@ impl<B: LabelingBuilder> Growable<B> {
     /// point insertions. Equivalent to `splice_at(len, count)`.
     pub fn bulk_load(&mut self, count: usize) -> (Vec<Handle>, BulkReport) {
         self.splice_at(self.len(), count)
+    }
+
+    /// Restore an **empty** structure to `handles.len()` elements in one
+    /// O(n) bulk sweep, binding `handles[r]` to rank `r` — the
+    /// snapshot-restore path: handles persisted before the snapshot stay
+    /// valid in the restored structure, so no caller has to re-key. The
+    /// whole population lands via a single [`splice`](ListLabeling::splice)
+    /// into a structure sized for it (~1 move per element), the epoch bumps
+    /// exactly once, and the id allocator advances past every restored
+    /// handle so future insertions cannot collide.
+    ///
+    /// Panics if the structure is non-empty or if any handle is the
+    /// reserved value `u64::MAX` (it would saturate the id allocator and
+    /// break the no-collision guarantee). `handles` must also be distinct —
+    /// decoders (see `lll-api`'s `persist` module) validate this before
+    /// calling, so it is re-checked in debug builds only, keeping the
+    /// restore hot path to a single pass.
+    pub fn load_with_handles(&mut self, handles: &[Handle]) {
+        // Validate before touching any state, so the panic paths leave the
+        // structure exactly as it was.
+        assert!(self.is_empty(), "load_with_handles requires an empty structure");
+        assert!(
+            !handles.contains(&Handle(u64::MAX)),
+            "load_with_handles rejects the reserved handle u64::MAX"
+        );
+        #[cfg(debug_assertions)]
+        {
+            let distinct: std::collections::HashSet<Handle> = handles.iter().copied().collect();
+            assert_eq!(
+                distinct.len(),
+                handles.len(),
+                "load_with_handles requires distinct handles"
+            );
+        }
+        if handles.is_empty() {
+            return;
+        }
+        let mut cap = self.capacity();
+        while cap < handles.len() {
+            cap *= 2;
+        }
+        self.rebuild_with_order(cap, handles.to_vec());
+        self.ids.bump_past(handles.iter().map(|h| h.0).max().expect("non-empty"));
     }
 
     /// Apply an [`Op`].
@@ -589,6 +653,47 @@ mod tests {
         assert_eq!(rev, walked);
         assert_eq!(g.prev_label_before(g.first_label().unwrap()), None);
         assert_eq!(g.next_label_after(g.last_label().unwrap()), None);
+    }
+
+    #[test]
+    fn load_with_handles_restores_identities_in_one_sweep() {
+        let n = 1000usize;
+        // Persisted handles are arbitrary distinct u64s, not necessarily
+        // contiguous — mimic a restored snapshot with gaps.
+        let handles: Vec<Handle> = (0..n as u64).map(|i| Handle(i * 3 + 5)).collect();
+        let mut g = Growable::new(ClassicBuilder, 16);
+        let e0 = g.epoch();
+        g.load_with_handles(&handles);
+        assert_eq!(g.len(), n);
+        assert_eq!(g.epoch(), e0 + 1, "exactly one epoch bump");
+        assert_eq!(g.iter().collect::<Vec<_>>(), handles, "rank order == handle order");
+        assert_eq!(g.handle_at_rank(700), handles[700]);
+        // O(n) restore: exactly one move (placement) per element.
+        assert_eq!(g.total_moves(), n as u64, "restore must be 1 move/element");
+        // Fresh insertions never reuse a restored handle value.
+        let fresh = g.insert(0);
+        assert!(fresh.0 > handles.iter().map(|h| h.0).max().unwrap());
+        // The zero-copy visitor streams the same pairs labels_snapshot collects.
+        let mut visited = Vec::new();
+        g.for_each_label(|h, pos| visited.push((h, pos)));
+        assert_eq!(visited, g.labels_snapshot());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn load_with_handles_rejects_non_empty() {
+        let mut g = Growable::new(ClassicBuilder, 16);
+        g.insert(0);
+        g.load_with_handles(&[Handle(9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn load_with_handles_rejects_reserved_handle() {
+        // Handle(u64::MAX) would saturate the id allocator: the next fresh
+        // handle would collide (release) or overflow (debug).
+        let mut g = Growable::new(ClassicBuilder, 16);
+        g.load_with_handles(&[Handle(3), Handle(u64::MAX)]);
     }
 
     #[test]

@@ -60,6 +60,14 @@ impl IdGen {
     pub fn issued(&self) -> u64 {
         self.next
     }
+
+    /// Advance the allocator so every id up to and including `id` counts
+    /// as issued — the snapshot-restore path, where previously issued ids
+    /// come back from disk and future [`fresh`](Self::fresh) calls must
+    /// not collide with them. A no-op if `id` was already issued.
+    pub fn bump_past(&mut self, id: u64) {
+        self.next = self.next.max(id.saturating_add(1));
+    }
 }
 
 #[cfg(test)]

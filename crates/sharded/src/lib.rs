@@ -18,6 +18,12 @@
 //!   ([`LabelMap::split_off_at_rank`](lll_api::LabelMap::split_off_at_rank)
 //!   exports the upper half sorted, `extend_sorted` lands it in one O(shard)
 //!   sweep), so re-sharding costs O(shard), not O(n · polylog n).
+//! * **Snapshots** ([`ShardedMap::write_snapshot`] /
+//!   [`ShardedMap::read_snapshot`]) persist the split-key directory and
+//!   each shard's sorted run under the exclusive directory lock (the
+//!   maintenance barrier), and restore pre-sharded — each shard lands via
+//!   its own O(shard) bulk sweep, no split cascade, no per-op replay. See
+//!   `docs/persistence.md`.
 //!
 //! ```
 //! use lll_sharded::ShardedBuilder;

@@ -21,10 +21,12 @@
 //! with plain `&mut` access. No operation ever holds two shard locks, so
 //! there is no lock-ordering cycle anywhere in the crate.
 
+use lll_api::persist::{Codec, ContainerKind, Header, SnapshotError};
 use lll_api::{LabelMap, ListBuilder, RawList};
 use lll_core::rng::derive_seed;
 use std::borrow::Borrow;
 use std::fmt;
+use std::io::{Read, Write};
 use std::ops::{Bound, RangeBounds};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -576,6 +578,129 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
         shard_mut(&mut dir.shards[left]).extend_sorted(right.into_sorted_vec());
     }
 
+    /// Write a durable snapshot of the map: the versioned header (backend,
+    /// seed, η, total entry count), the shard policy, the split-key
+    /// directory, and each shard's sorted run in key order. Runs under the
+    /// **exclusive** directory lock — the same barrier splits and merges
+    /// use — so the snapshot is one atomic, internally consistent picture
+    /// even with concurrent writers (they block for the duration of the
+    /// write).
+    ///
+    /// Writing to a `File`? Wrap it in a [`std::io::BufWriter`] — the
+    /// encoder issues one small write per field.
+    pub fn write_snapshot<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError>
+    where
+        K: Codec,
+        V: Codec,
+    {
+        let mut dir = wlock(&self.dir);
+        let total: usize = dir.shards.iter_mut().map(|s| shard_mut(s).len()).sum();
+        let mut cfg = self.builder.config();
+        cfg.seed = self.seed;
+        Header::new(ContainerKind::ShardedMap, cfg, total as u64).write_to(w)?;
+        (self.policy.max_shard_len as u64).encode(w)?;
+        (self.policy.min_shard_len as u64).encode(w)?;
+        (self.policy.max_shards as u64).encode(w)?;
+        (dir.shards.len() as u64).encode(w)?;
+        for b in &dir.bounds {
+            b.encode(w)?;
+        }
+        for s in &mut dir.shards {
+            let shard = shard_mut(s);
+            (shard.len() as u64).encode(w)?;
+            for (k, v) in shard.iter() {
+                k.encode(w)?;
+                v.encode(w)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Restore a map from a snapshot written by
+    /// [`write_snapshot`](Self::write_snapshot): rebuild the recorded
+    /// backend configuration and policy, re-install the persisted
+    /// split-key directory, and land each shard's run through its own
+    /// O(shard) bulk-load sweep — the
+    /// [`build_from_sorted`](crate::ShardedBuilder::build_from_sorted)-style
+    /// pre-sharded restore, skipping both per-op replay and any split
+    /// cascade.
+    ///
+    /// Never panics on bad input: truncated, corrupted, version- or
+    /// container-mismatched streams return the matching [`SnapshotError`]
+    /// variant (a directory whose shard runs violate their spans is
+    /// [`SnapshotError::Corrupt`]). Reading from a `File`? Wrap it in a
+    /// [`std::io::BufReader`].
+    pub fn read_snapshot<R: Read + ?Sized>(r: &mut R) -> Result<Self, SnapshotError>
+    where
+        K: Codec,
+        V: Codec,
+    {
+        let header = Header::read_expecting(r, ContainerKind::ShardedMap)?;
+        let max_shard_len = usize::decode(r)?.max(2);
+        let min_shard_len = usize::decode(r)?;
+        let max_shards = usize::decode(r)?.max(1);
+        // Re-clamp exactly as ShardedBuilder does, so a hand-edited policy
+        // can never re-introduce split/merge livelock.
+        let policy = ShardPolicy {
+            max_shard_len,
+            min_shard_len: min_shard_len.min(max_shard_len / 4),
+            max_shards,
+        };
+        let shard_count = usize::decode(r)?;
+        if shard_count == 0 {
+            return Err(SnapshotError::Corrupt("a sharded map has at least one shard".into()));
+        }
+        if shard_count > policy.max_shards {
+            return Err(SnapshotError::Corrupt(format!(
+                "{shard_count} shards exceed the policy ceiling {}",
+                policy.max_shards
+            )));
+        }
+        let mut bounds: Vec<K> = Vec::with_capacity((shard_count - 1).min(1 << 16));
+        for _ in 1..shard_count {
+            bounds.push(K::decode(r)?);
+        }
+        if !bounds.windows(2).all(|w| w[0].cmp(&w[1]).is_lt()) {
+            return Err(SnapshotError::Corrupt("split keys must be strictly ascending".into()));
+        }
+        let mut map = Self::shell(ListBuilder::from_config(header.config()), header.seed, policy);
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut total = 0u64;
+        for i in 0..shard_count {
+            let len = usize::decode(r)?;
+            let run: Vec<(K, V)> =
+                lll_api::persist::decode_sorted_run(r, len, &format!("shard {i}"))?;
+            if let (Some((first, _)), Some(j)) = (run.first(), i.checked_sub(1)) {
+                if first.cmp(&bounds[j]).is_lt() {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "shard {i} holds a key below its span"
+                    )));
+                }
+            }
+            if let (Some((last, _)), Some(hi)) = (run.last(), bounds.get(i)) {
+                if last.cmp(hi).is_ge() {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "shard {i} holds a key above its span"
+                    )));
+                }
+            }
+            total += run.len() as u64;
+            let mut shard = map.fresh_shard();
+            shard.extend_sorted(run);
+            shards.push(RwLock::new(shard));
+        }
+        if total != header.count {
+            return Err(SnapshotError::Corrupt(format!(
+                "shard runs hold {total} entries, header claims {}",
+                header.count
+            )));
+        }
+        let dir = map.dir.get_mut().expect("fresh lock");
+        dir.bounds = bounds;
+        dir.shards = shards;
+        Ok(map)
+    }
+
     /// Verify the directory invariants: split keys strictly ascending, one
     /// more shard than split keys, every shard's keys inside its span and
     /// ascending. O(n); test/diagnostic use only.
@@ -748,6 +873,58 @@ mod tests {
             drained.total_moves,
             grown.total_moves
         );
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_directory_and_entries() {
+        let map = tiny().build::<u64, u64>();
+        for k in 0..700u64 {
+            map.insert(k, k * 3);
+        }
+        for k in (0..700).step_by(5) {
+            map.remove(&k);
+        }
+        assert!(map.shard_count() > 4, "workload must shard");
+        let mut buf = Vec::new();
+        map.write_snapshot(&mut buf).unwrap();
+        let back = super::ShardedMap::<u64, u64>::read_snapshot(&mut buf.as_slice()).unwrap();
+        back.check_invariants();
+        // The split-key directory is persisted, not re-derived: the
+        // restored map has the same shards with the same key spans.
+        assert_eq!(back.shard_count(), map.shard_count());
+        assert_eq!(format!("{back:?}"), format!("{map:?}"));
+        assert_eq!(back.to_vec(), map.to_vec());
+        let (pm, pb) = (map.policy(), back.policy());
+        assert_eq!(
+            (pm.max_shard_len, pm.min_shard_len, pm.max_shards),
+            (pb.max_shard_len, pb.min_shard_len, pb.max_shards)
+        );
+        // The restored map keeps maintaining itself.
+        for k in 1000..1200u64 {
+            back.insert(k, k);
+        }
+        back.check_invariants();
+        assert_eq!(back.len(), map.len() + 200);
+    }
+
+    #[test]
+    fn snapshot_of_single_shard_and_string_keys() {
+        let map = ShardedBuilder::new().build::<String, u32>();
+        for (i, name) in ["ash", "beech", "cedar"].iter().enumerate() {
+            map.insert(name.to_string(), i as u32);
+        }
+        let mut buf = Vec::new();
+        map.write_snapshot(&mut buf).unwrap();
+        let back = super::ShardedMap::<String, u32>::read_snapshot(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.to_vec(), map.to_vec());
+        assert_eq!(back.shard_count(), 1);
+        // Truncated input errors (every strict prefix), never panics.
+        for cut in (0..buf.len()).step_by(7) {
+            assert!(
+                super::ShardedMap::<String, u32>::read_snapshot(&mut &buf[..cut]).is_err(),
+                "prefix {cut} decoded"
+            );
+        }
     }
 
     #[test]

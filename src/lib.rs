@@ -90,7 +90,10 @@ pub use lll_workloads as workloads;
 
 pub mod prelude {
     //! One-stop imports for applications.
-    pub use lll_api::{Backend, ErasedList, Handle, LabelMap, ListBuilder, OrderedList, RawList};
+    pub use lll_api::{
+        Backend, Codec, ErasedList, Handle, LabelMap, ListBuilder, OrderedList, RawList,
+        SnapshotError,
+    };
     pub use lll_core::prelude::*;
     pub use lll_sharded::{ShardedBuilder, ShardedMap};
 }
