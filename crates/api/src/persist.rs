@@ -66,8 +66,10 @@ pub const FORMAT_VERSION: u32 = 1;
 
 /// Cap on speculative pre-allocation while decoding length-framed data:
 /// reservations beyond this grow organically as bytes actually arrive, so
-/// a corrupt length cannot force a giant allocation.
-const PREALLOC_CAP: usize = 1 << 16;
+/// a corrupt length cannot force a giant allocation. Public so other
+/// length-framed decoders (e.g. `lll-server`'s wire protocol) share the
+/// same discipline.
+pub const PREALLOC_CAP: usize = 1 << 16;
 
 /// Everything that can go wrong decoding (or writing) a snapshot. Decode
 /// paths return these — they never panic on malformed input.
@@ -254,8 +256,11 @@ impl Codec for () {
     }
 }
 
-/// Decode a `u64` frame length into a checked element count.
-fn decode_len<R: Read + ?Sized>(r: &mut R) -> Result<usize, SnapshotError> {
+/// Decode a `u64` frame length into a checked element count. Shared by
+/// every length-framed decoder in the workspace (snapshots here, wire
+/// frames in `lll-server`); pair it with [`PREALLOC_CAP`] before
+/// reserving.
+pub fn decode_len<R: Read + ?Sized>(r: &mut R) -> Result<usize, SnapshotError> {
     usize::try_from(u64::decode(r)?)
         .map_err(|_| SnapshotError::Corrupt("frame length exceeds host width".into()))
 }

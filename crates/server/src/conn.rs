@@ -1,0 +1,164 @@
+//! One connection's request loop: wait for a frame, dispatch the verb,
+//! flush the response, repeat — closing only at request boundaries.
+//!
+//! Idle waiting is a `peek` under the configured read timeout, so a
+//! connection parked between requests notices a drain within one poll
+//! interval **without** consuming stream bytes; once the first byte of a
+//! frame is visible, the frame is read to completion (the frame layer's
+//! reads preserve progress across timeouts), processed, and answered —
+//! a drain never tears a response in half and never drops a request the
+//! server already started reading.
+
+use crate::frame::{read_frame, WireError};
+use crate::proto::{HealthReply, Request, Response, StatsReply};
+use crate::server::{KvMap, Shared};
+use std::fs::File;
+use std::io::{BufWriter, ErrorKind, Write as _};
+use std::net::TcpStream;
+use std::ops::Bound;
+use std::sync::atomic::Ordering;
+
+/// Serve one connection to completion (peer close, protocol error, or
+/// drain boundary).
+pub(crate) fn serve(stream: TcpStream, shared: &Shared) {
+    shared.active_conns.fetch_add(1, Ordering::SeqCst);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.idle_poll));
+    let Ok(write_half) = stream.try_clone() else {
+        shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+        return;
+    };
+    let mut writer = BufWriter::new(write_half);
+    let reader = stream;
+    loop {
+        if !wait_for_request(&reader, shared) {
+            break;
+        }
+        let request = match read_frame(&mut &reader).and_then(|f| Request::from_frame(&f)) {
+            Ok(req) => req,
+            Err(e) => {
+                // A malformed frame desynchronizes the stream: answer with
+                // the typed failure (best effort) and close.
+                let resp = Response::Error(format!("protocol error: {e}"));
+                let _ = resp.write_to(&mut writer).and_then(|()| Ok(writer.flush()?));
+                break;
+            }
+        };
+        shared.served_requests.fetch_add(1, Ordering::Relaxed);
+        let (response, drain_after) = handle(request, shared);
+        if response.write_to(&mut writer).and_then(|()| Ok(writer.flush()?)).is_err() {
+            break;
+        }
+        if drain_after {
+            shared.begin_drain();
+            break;
+        }
+        // Drain boundary: the response above is flushed; nothing is owed.
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Park until a frame's first byte is visible (true), the peer closes or
+/// errors (false), or a drain begins while the connection is idle
+/// (false). `peek` never consumes, so returning early loses nothing.
+fn wait_for_request(stream: &TcpStream, shared: &Shared) -> bool {
+    let mut probe = [0u8; 1];
+    loop {
+        match stream.peek(&mut probe) {
+            Ok(0) => return false,
+            Ok(_) => return true,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return false;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Dispatch one verb. The second component asks the caller to begin a
+/// drain **after** the response is flushed.
+fn handle(request: Request, shared: &Shared) -> (Response, bool) {
+    let map = &shared.map;
+    match request {
+        Request::Health => (
+            Response::Health(HealthReply {
+                draining: shared.draining.load(Ordering::SeqCst),
+                active_conns: shared.active_conns.load(Ordering::SeqCst),
+                served_requests: shared.served_requests.load(Ordering::Relaxed),
+                len: map.len() as u64,
+            }),
+            false,
+        ),
+        Request::Stats => {
+            let s = map.stats();
+            (
+                Response::Stats(StatsReply {
+                    shards: s.shards as u64,
+                    len: s.len as u64,
+                    splits: s.splits,
+                    merges: s.merges,
+                    batches: s.batches,
+                    batched_entries: s.batched_entries,
+                    total_moves: s.total_moves,
+                    shard_lens: s.shard_lens.iter().map(|&l| l as u64).collect(),
+                }),
+                false,
+            )
+        }
+        Request::Get(key) => (Response::Value(map.get(&key)), false),
+        Request::Insert(key, value) => (Response::Value(map.insert(key, value)), false),
+        Request::Remove(key) => (Response::Value(map.remove(&key)), false),
+        Request::Contains(key) => (Response::Bool(map.contains_key(&key)), false),
+        Request::Range { start, end, limit } => {
+            let lo = match &start {
+                Some(k) => Bound::Included(k),
+                None => Bound::Unbounded,
+            };
+            let hi = match &end {
+                Some(k) => Bound::Excluded(k),
+                None => Bound::Unbounded,
+            };
+            let capped = limit.min(shared.cfg.range_limit_cap) as usize;
+            let (entries, truncated) = map.range_limited::<Vec<u8>, _>((lo, hi), capped);
+            (Response::Entries { entries, truncated }, false)
+        }
+        Request::BatchInsert(entries) => {
+            let received = entries.len() as u64;
+            let landed = map.extend_from_unsorted(entries) as u64;
+            (Response::Batched { received, landed }, false)
+        }
+        Request::Snapshot { path } => (snapshot_to(map, &path), false),
+        Request::Drain { final_snapshot } => {
+            if let Some(path) = final_snapshot {
+                // A failed final snapshot refuses the drain: the operator
+                // asked for durability first, and losing that silently
+                // would defeat the point.
+                if let failed @ Response::Error(_) = snapshot_to(map, &path) {
+                    return (failed, false);
+                }
+            }
+            (Response::Ok, true)
+        }
+    }
+}
+
+/// Stream a snapshot to `path` under the maintenance barrier (see
+/// `ShardedMap::write_snapshot`): one atomic picture even under
+/// concurrent writers.
+fn snapshot_to(map: &KvMap, path: &str) -> Response {
+    let file = match File::create(path) {
+        Ok(f) => f,
+        Err(e) => return Response::Error(format!("snapshot: create {path:?}: {e}")),
+    };
+    let mut w = BufWriter::new(file);
+    match map.write_snapshot(&mut w).map_err(WireError::from).and_then(|()| Ok(w.flush()?)) {
+        Ok(()) => Response::Ok,
+        Err(e) => Response::Error(format!("snapshot: write {path:?}: {e}")),
+    }
+}

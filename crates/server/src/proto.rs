@@ -1,0 +1,342 @@
+//! The verb vocabulary: typed [`Request`] / [`Response`] messages and
+//! their frame encodings.
+//!
+//! Requests carry opcodes `0x01..=0x0A`; responses carry `0x81..=0x88`
+//! (high bit set), so a stream position can never be misread as the other
+//! direction. Bodies are [`Codec`]-encoded; a
+//! frame whose body leaves trailing bytes after its message decodes is
+//! [`WireError::Corrupt`] — every byte is accounted for.
+//!
+//! Keys and values are **opaque byte strings** ordered lexicographically
+//! (`Vec<u8>`'s `Ord`), the classic ordered-KV contract: any totally
+//! ordered application key works once serialized order-preservingly.
+//! See `docs/server.md` for the full wire tables.
+
+use crate::frame::{
+    decode_bytes, decode_opt_bytes, encode_bytes, encode_opt_bytes, read_frame, write_frame, Frame,
+    WireError,
+};
+use lll_api::persist::Codec;
+use std::io::{Read, Write};
+
+/// A client→server message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness + load probe; never touches shard locks exclusively.
+    Health,
+    /// Per-shard statistics (entry counts, splits/merges, batching).
+    Stats,
+    /// The value stored under a key.
+    Get(Vec<u8>),
+    /// Store `key → value`; replies with the previous value, if any.
+    Insert(Vec<u8>, Vec<u8>),
+    /// Remove a key; replies with the removed value, if any.
+    Remove(Vec<u8>),
+    /// Key-presence test.
+    Contains(Vec<u8>),
+    /// Ordered scan of `[start, end)` (either bound may be absent =
+    /// unbounded), capped at `limit` entries.
+    Range {
+        /// Inclusive lower bound; `None` scans from the smallest key.
+        start: Option<Vec<u8>>,
+        /// Exclusive upper bound; `None` scans to the largest key.
+        end: Option<Vec<u8>>,
+        /// Entry cap; the reply says whether the scan was truncated.
+        limit: u64,
+    },
+    /// Land many entries in one round trip. The server sorts the batch,
+    /// dedups it (last write wins), cuts it at the shard directory's
+    /// split keys, and lands each run via the per-shard bulk sweep.
+    BatchInsert(Vec<(Vec<u8>, Vec<u8>)>),
+    /// Stream a durable snapshot to a server-side path (written under the
+    /// maintenance barrier — one atomic picture even under writers).
+    Snapshot {
+        /// Server-side filesystem path to write.
+        path: String,
+    },
+    /// Graceful drain: stop accepting connections, finish in-flight
+    /// requests, optionally write a final snapshot first.
+    Drain {
+        /// Server-side path for a final snapshot before draining.
+        final_snapshot: Option<String>,
+    },
+}
+
+/// A server→client message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// The verb succeeded and returns nothing.
+    Ok,
+    /// An optional value (`Get` / `Insert` / `Remove`).
+    Value(Option<Vec<u8>>),
+    /// A yes/no answer (`Contains`).
+    Bool(bool),
+    /// An ordered slice of entries (`Range`).
+    Entries {
+        /// The entries, ascending by key.
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+        /// True if more entries existed past the requested limit.
+        truncated: bool,
+    },
+    /// `BatchInsert` accounting.
+    Batched {
+        /// Entries received on the wire.
+        received: u64,
+        /// Unique entries landed after last-write-wins dedup.
+        landed: u64,
+    },
+    /// `Health` reply.
+    Health(HealthReply),
+    /// `Stats` reply.
+    Stats(StatsReply),
+    /// The verb failed server-side; the connection stays usable unless
+    /// the failure was a protocol violation.
+    Error(String),
+}
+
+/// Liveness + load snapshot (the `Health` verb).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HealthReply {
+    /// True once a drain has begun (new connections are refused).
+    pub draining: bool,
+    /// Connections currently being served.
+    pub active_conns: u64,
+    /// Requests served since the server started.
+    pub served_requests: u64,
+    /// Entries in the map.
+    pub len: u64,
+}
+
+/// Per-shard statistics (the `Stats` verb) — `ShardedStats` on the wire.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Number of shards.
+    pub shards: u64,
+    /// Total entries.
+    pub len: u64,
+    /// Shard splits since construction.
+    pub splits: u64,
+    /// Shard merges since construction.
+    pub merges: u64,
+    /// Bulk batches landed since construction.
+    pub batches: u64,
+    /// Entries landed through those batches.
+    pub batched_entries: u64,
+    /// Total element moves across shard backends (the paper's cost
+    /// measure), monotone over the map's lifetime.
+    pub total_moves: u64,
+    /// Per-shard entry counts, in key order.
+    pub shard_lens: Vec<u64>,
+}
+
+impl Codec for HealthReply {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), lll_api::SnapshotError> {
+        self.draining.encode(w)?;
+        self.active_conns.encode(w)?;
+        self.served_requests.encode(w)?;
+        self.len.encode(w)
+    }
+
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, lll_api::SnapshotError> {
+        Ok(Self {
+            draining: bool::decode(r)?,
+            active_conns: u64::decode(r)?,
+            served_requests: u64::decode(r)?,
+            len: u64::decode(r)?,
+        })
+    }
+}
+
+impl Codec for StatsReply {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), lll_api::SnapshotError> {
+        self.shards.encode(w)?;
+        self.len.encode(w)?;
+        self.splits.encode(w)?;
+        self.merges.encode(w)?;
+        self.batches.encode(w)?;
+        self.batched_entries.encode(w)?;
+        self.total_moves.encode(w)?;
+        self.shard_lens.encode(w)
+    }
+
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, lll_api::SnapshotError> {
+        Ok(Self {
+            shards: u64::decode(r)?,
+            len: u64::decode(r)?,
+            splits: u64::decode(r)?,
+            merges: u64::decode(r)?,
+            batches: u64::decode(r)?,
+            batched_entries: u64::decode(r)?,
+            total_moves: u64::decode(r)?,
+            shard_lens: Vec::<u64>::decode(r)?,
+        })
+    }
+}
+
+/// Require the body reader to be fully consumed — a decoded message must
+/// account for every frame byte, or a bit flip could smuggle state.
+fn expect_drained(rest: &[u8], what: &str) -> Result<(), WireError> {
+    if rest.is_empty() {
+        Ok(())
+    } else {
+        Err(WireError::Corrupt(format!("{} trailing bytes after {what} body", rest.len())))
+    }
+}
+
+impl Request {
+    /// This request's frame opcode.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Request::Health => 0x01,
+            Request::Stats => 0x02,
+            Request::Get(_) => 0x03,
+            Request::Insert(_, _) => 0x04,
+            Request::Remove(_) => 0x05,
+            Request::Contains(_) => 0x06,
+            Request::Range { .. } => 0x07,
+            Request::BatchInsert(_) => 0x08,
+            Request::Snapshot { .. } => 0x09,
+            Request::Drain { .. } => 0x0A,
+        }
+    }
+
+    /// Encode and write this request as one frame (caller flushes).
+    pub fn write_to<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), WireError> {
+        let mut body = Vec::new();
+        match self {
+            Request::Health | Request::Stats => {}
+            Request::Get(k) | Request::Remove(k) | Request::Contains(k) => {
+                encode_bytes(&mut body, k)?;
+            }
+            Request::Insert(k, v) => {
+                encode_bytes(&mut body, k)?;
+                encode_bytes(&mut body, v)?;
+            }
+            Request::Range { start, end, limit } => {
+                encode_opt_bytes(&mut body, start.as_deref())?;
+                encode_opt_bytes(&mut body, end.as_deref())?;
+                limit.encode(&mut body)?;
+            }
+            Request::BatchInsert(entries) => {
+                (entries.len() as u64).encode(&mut body)?;
+                for (k, v) in entries {
+                    encode_bytes(&mut body, k)?;
+                    encode_bytes(&mut body, v)?;
+                }
+            }
+            Request::Snapshot { path } => path.encode(&mut body)?,
+            Request::Drain { final_snapshot } => final_snapshot.encode(&mut body)?,
+        }
+        write_frame(w, self.opcode(), &body)
+    }
+
+    /// Parse a received frame into a request.
+    pub fn from_frame(frame: &Frame) -> Result<Self, WireError> {
+        let r = &mut frame.body.as_slice();
+        let req = match frame.opcode {
+            0x01 => Request::Health,
+            0x02 => Request::Stats,
+            0x03 => Request::Get(decode_bytes(r)?),
+            0x04 => Request::Insert(decode_bytes(r)?, decode_bytes(r)?),
+            0x05 => Request::Remove(decode_bytes(r)?),
+            0x06 => Request::Contains(decode_bytes(r)?),
+            0x07 => Request::Range {
+                start: decode_opt_bytes(r)?,
+                end: decode_opt_bytes(r)?,
+                limit: u64::decode(r)?,
+            },
+            0x08 => {
+                let count = lll_api::persist::decode_len(r)?;
+                let mut entries =
+                    Vec::with_capacity(count.min(lll_api::persist::PREALLOC_CAP / 16));
+                for _ in 0..count {
+                    entries.push((decode_bytes(r)?, decode_bytes(r)?));
+                }
+                Request::BatchInsert(entries)
+            }
+            0x09 => Request::Snapshot { path: String::decode(r)? },
+            0x0A => Request::Drain { final_snapshot: Option::<String>::decode(r)? },
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        expect_drained(r, "request")?;
+        Ok(req)
+    }
+
+    /// Read one request frame and parse it.
+    pub fn read_from<R: Read + ?Sized>(r: &mut R) -> Result<Self, WireError> {
+        Self::from_frame(&read_frame(r)?)
+    }
+}
+
+impl Response {
+    /// This response's frame opcode (high bit set).
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Response::Ok => 0x81,
+            Response::Value(_) => 0x82,
+            Response::Bool(_) => 0x83,
+            Response::Entries { .. } => 0x84,
+            Response::Batched { .. } => 0x85,
+            Response::Health(_) => 0x86,
+            Response::Stats(_) => 0x87,
+            Response::Error(_) => 0x88,
+        }
+    }
+
+    /// Encode and write this response as one frame (caller flushes).
+    pub fn write_to<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), WireError> {
+        let mut body = Vec::new();
+        match self {
+            Response::Ok => {}
+            Response::Value(v) => encode_opt_bytes(&mut body, v.as_deref())?,
+            Response::Bool(b) => b.encode(&mut body)?,
+            Response::Entries { entries, truncated } => {
+                (entries.len() as u64).encode(&mut body)?;
+                for (k, v) in entries {
+                    encode_bytes(&mut body, k)?;
+                    encode_bytes(&mut body, v)?;
+                }
+                truncated.encode(&mut body)?;
+            }
+            Response::Batched { received, landed } => {
+                received.encode(&mut body)?;
+                landed.encode(&mut body)?;
+            }
+            Response::Health(h) => h.encode(&mut body)?,
+            Response::Stats(s) => s.encode(&mut body)?,
+            Response::Error(msg) => msg.encode(&mut body)?,
+        }
+        write_frame(w, self.opcode(), &body)
+    }
+
+    /// Parse a received frame into a response.
+    pub fn from_frame(frame: &Frame) -> Result<Self, WireError> {
+        let r = &mut frame.body.as_slice();
+        let resp = match frame.opcode {
+            0x81 => Response::Ok,
+            0x82 => Response::Value(decode_opt_bytes(r)?),
+            0x83 => Response::Bool(bool::decode(r)?),
+            0x84 => {
+                let count = lll_api::persist::decode_len(r)?;
+                let mut entries =
+                    Vec::with_capacity(count.min(lll_api::persist::PREALLOC_CAP / 16));
+                for _ in 0..count {
+                    entries.push((decode_bytes(r)?, decode_bytes(r)?));
+                }
+                Response::Entries { entries, truncated: bool::decode(r)? }
+            }
+            0x85 => Response::Batched { received: u64::decode(r)?, landed: u64::decode(r)? },
+            0x86 => Response::Health(HealthReply::decode(r)?),
+            0x87 => Response::Stats(StatsReply::decode(r)?),
+            0x88 => Response::Error(String::decode(r)?),
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        expect_drained(r, "response")?;
+        Ok(resp)
+    }
+
+    /// Read one response frame and parse it.
+    pub fn read_from<R: Read + ?Sized>(r: &mut R) -> Result<Self, WireError> {
+        Self::from_frame(&read_frame(r)?)
+    }
+}

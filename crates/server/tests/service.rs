@@ -1,0 +1,323 @@
+//! End-to-end service tests: an in-process server on an ephemeral
+//! loopback port, exercised through real sockets — verb round trips, a
+//! concurrent multi-connection differential against `BTreeMap` models,
+//! drain under load (no dropped in-flight responses), and hostile-bytes
+//! resilience.
+
+use lll_server::{Client, KvMap, Request, Server, ServerConfig, WireError};
+use lll_sharded::{ShardedBuilder, ShardedMap};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+fn small_shards() -> Arc<KvMap> {
+    // Aggressive split thresholds so even small tests cross shard
+    // boundaries and exercise the directory.
+    Arc::new(ShardedBuilder::new().max_shard_len(64).min_shard_len(8).seed(77).build())
+}
+
+fn start(map: Arc<KvMap>) -> lll_server::ServerHandle {
+    Server::start(map, ServerConfig::default()).expect("bind ephemeral port")
+}
+
+fn kv(i: u64) -> (Vec<u8>, Vec<u8>) {
+    (format!("key-{i:08}").into_bytes(), format!("value-{i}").into_bytes())
+}
+
+#[test]
+fn all_verbs_roundtrip_over_a_real_socket() {
+    let mut server = start(small_shards());
+    let mut c = Client::connect(server.local_addr()).unwrap();
+
+    // Point verbs.
+    assert_eq!(c.get(b"missing").unwrap(), None);
+    assert_eq!(c.insert(b"alpha", b"1").unwrap(), None);
+    assert_eq!(c.insert(b"alpha", b"2").unwrap().as_deref(), Some(&b"1"[..]));
+    assert!(c.contains(b"alpha").unwrap());
+    assert!(!c.contains(b"beta").unwrap());
+    assert_eq!(c.remove(b"alpha").unwrap().as_deref(), Some(&b"2"[..]));
+    assert_eq!(c.remove(b"alpha").unwrap(), None);
+
+    // Batch + range: 300 keys crossing several shards.
+    let entries: Vec<_> = (0..300).map(kv).collect();
+    assert_eq!(c.batch_insert(entries.clone()).unwrap(), 300);
+    let (all, truncated) = c.range(None, None, 1_000).unwrap();
+    assert_eq!(all, entries);
+    assert!(!truncated);
+    let (page, truncated) = c.range(Some(&kv(10).0), Some(&kv(290).0), 7).unwrap();
+    assert_eq!(page, entries[10..17].to_vec());
+    assert!(truncated, "280 candidates capped at 7 must flag truncation");
+    let (tail, truncated) = c.range(Some(&kv(295).0), None, 1_000).unwrap();
+    assert_eq!(tail, entries[295..].to_vec());
+    assert!(!truncated);
+
+    // Ops surface.
+    let health = c.health().unwrap();
+    assert!(!health.draining);
+    assert_eq!(health.len, 300);
+    assert!(health.active_conns >= 1);
+    assert!(health.served_requests > 10);
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.len, 300);
+    assert!(stats.shards > 1, "300 keys over max 64 must shard");
+    assert_eq!(stats.shard_lens.iter().sum::<u64>(), 300);
+    assert_eq!(stats.shard_lens.len() as u64, stats.shards);
+    assert!(stats.batches >= 1, "batch_insert must ride the bulk path");
+    assert_eq!(stats.batched_entries, 300);
+    assert!(stats.splits > 0);
+
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_verb_streams_a_restorable_snapshot() {
+    let mut server = start(small_shards());
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let entries: Vec<_> = (0..200).map(kv).collect();
+    c.batch_insert(entries.clone()).unwrap();
+
+    let path = std::env::temp_dir().join(format!("lll_server_snap_{}.snap", std::process::id()));
+    let path_str = path.to_str().unwrap().to_string();
+    c.snapshot(&path_str).unwrap();
+
+    let file = std::fs::File::open(&path).unwrap();
+    let restored: ShardedMap<Vec<u8>, Vec<u8>> =
+        ShardedMap::read_snapshot(&mut std::io::BufReader::new(file)).unwrap();
+    restored.check_invariants();
+    assert_eq!(restored.to_vec(), entries);
+    assert_eq!(restored.shard_count(), server.map().shard_count());
+    std::fs::remove_file(&path).ok();
+
+    // A snapshot to an unwritable path is a typed remote error, and the
+    // connection stays usable afterwards.
+    match c.snapshot("/nonexistent-dir/nope.snap") {
+        Err(WireError::Remote(msg)) => assert!(msg.contains("snapshot"), "{msg}"),
+        other => panic!("expected Remote error, got {other:?}"),
+    }
+    assert!(c.contains(&kv(0).0).unwrap(), "connection survives a failed verb");
+
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_match_btreemap_models() {
+    let mut server = start(small_shards());
+    let addr = server.local_addr();
+    const THREADS: u64 = 4;
+    const OPS: u64 = 1_500;
+
+    let models: Vec<BTreeMap<Vec<u8>, Vec<u8>>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|tid| {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    let mut model = BTreeMap::new();
+                    let mut x = 0x9E37 + tid;
+                    for i in 0..OPS {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        // Striped keys: thread-disjoint, so models merge.
+                        let (k, v) = kv((x % 400) * THREADS + tid);
+                        match x % 10 {
+                            0..=5 => {
+                                assert_eq!(
+                                    c.insert(&k, &v).unwrap(),
+                                    model.insert(k, v),
+                                    "insert mismatch (thread {tid}, op {i})"
+                                );
+                            }
+                            6..=7 => {
+                                assert_eq!(
+                                    c.remove(&k).unwrap(),
+                                    model.remove(&k),
+                                    "remove mismatch (thread {tid}, op {i})"
+                                );
+                            }
+                            8 => {
+                                assert_eq!(
+                                    c.get(&k).unwrap(),
+                                    model.get(&k).cloned(),
+                                    "get mismatch (thread {tid}, op {i})"
+                                );
+                            }
+                            _ => {
+                                assert_eq!(
+                                    c.contains(&k).unwrap(),
+                                    model.contains_key(&k),
+                                    "contains mismatch (thread {tid}, op {i})"
+                                );
+                            }
+                        }
+                    }
+                    model
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+
+    let merged: BTreeMap<Vec<u8>, Vec<u8>> = models.into_iter().flatten().collect();
+    let mut c = Client::connect(addr).unwrap();
+    let (all, truncated) = c.range(None, None, u64::MAX).unwrap();
+    assert!(!truncated);
+    assert_eq!(all, merged.into_iter().collect::<Vec<_>>());
+    server.map().check_invariants();
+    server.shutdown();
+}
+
+#[test]
+fn drain_under_load_drops_no_acked_response() {
+    let mut server = start(small_shards());
+    let addr = server.local_addr();
+    const THREADS: u64 = 4;
+    const MAX_OPS: u64 = 200_000;
+
+    struct Outcome {
+        acked: Vec<Vec<u8>>,
+        in_doubt: Option<Vec<u8>>,
+    }
+
+    let outcomes: Vec<Outcome> = thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|tid| {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    let mut acked = Vec::new();
+                    let mut in_doubt = None;
+                    for i in 0..MAX_OPS {
+                        let (k, v) = kv(i * THREADS + tid);
+                        match c.insert(&k, &v) {
+                            Ok(prev) => {
+                                assert_eq!(prev, None, "keys are distinct");
+                                acked.push(k);
+                            }
+                            Err(_) => {
+                                // The drain closed the connection: the one
+                                // unanswered request may or may not have
+                                // landed; everything acked before it must
+                                // have.
+                                in_doubt = Some(k);
+                                break;
+                            }
+                        }
+                    }
+                    Outcome { acked, in_doubt }
+                })
+            })
+            .collect();
+        // Let the writers get going, then drain mid-flight.
+        thread::sleep(Duration::from_millis(60));
+        server.drain();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    server.join();
+
+    let map = server.map();
+    let mut total_acked = 0u64;
+    for (tid, outcome) in outcomes.iter().enumerate() {
+        assert!(
+            outcome.in_doubt.is_some() || outcome.acked.len() == MAX_OPS as usize,
+            "thread {tid} stopped early without a connection error"
+        );
+        total_acked += outcome.acked.len() as u64;
+        for k in &outcome.acked {
+            assert!(map.contains_key(k), "acked insert missing after drain (thread {tid})");
+        }
+    }
+    assert!(total_acked > 0, "drain fired before any request completed");
+    // Nothing landed beyond the acked set plus (at most) one in-doubt
+    // request per connection.
+    let in_doubt = outcomes.iter().filter(|o| o.in_doubt.is_some()).count() as u64;
+    let len = map.len() as u64;
+    assert!(
+        len >= total_acked && len <= total_acked + in_doubt,
+        "map holds {len} entries for {total_acked} acked + {in_doubt} in-doubt"
+    );
+    map.check_invariants();
+
+    // The drained server refuses further service.
+    let mut late = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(_) => return, // listener already gone — equally acceptable
+    };
+    assert!(late.get(b"anything").is_err(), "a drained server must not serve");
+}
+
+#[test]
+fn drain_verb_with_final_snapshot() {
+    let mut server = start(small_shards());
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let entries: Vec<_> = (0..150).map(kv).collect();
+    c.batch_insert(entries.clone()).unwrap();
+
+    let path = std::env::temp_dir().join(format!("lll_server_drain_{}.snap", std::process::id()));
+    let path_str = path.to_str().unwrap().to_string();
+    c.drain(Some(&path_str)).unwrap();
+    server.join();
+    assert!(server.is_draining());
+
+    let file = std::fs::File::open(&path).unwrap();
+    let restored: ShardedMap<Vec<u8>, Vec<u8>> =
+        ShardedMap::read_snapshot(&mut std::io::BufReader::new(file)).unwrap();
+    assert_eq!(restored.to_vec(), entries);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn hostile_bytes_get_a_typed_error_and_the_server_survives() {
+    let mut server = start(small_shards());
+    let addr = server.local_addr();
+
+    // Garbage magic: the server answers with a typed protocol error
+    // frame, then closes that connection.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    raw.flush().unwrap();
+    match lll_server::Response::read_from(&mut &raw) {
+        Ok(lll_server::Response::Error(msg)) => assert!(msg.contains("protocol"), "{msg}"),
+        other => panic!("expected protocol-error response, got {other:?}"),
+    }
+
+    // An oversized declared frame is refused the same way, without the
+    // server attempting the allocation.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    let mut huge = Vec::new();
+    lll_server::frame::write_frame(&mut huge, 0x03, &[0; 8]).unwrap();
+    huge[7..11].copy_from_slice(&u32::MAX.to_le_bytes());
+    raw.write_all(&huge[..11]).unwrap();
+    raw.flush().unwrap();
+    match lll_server::Response::read_from(&mut &raw) {
+        Ok(lll_server::Response::Error(msg)) => assert!(msg.contains("protocol"), "{msg}"),
+        other => panic!("expected protocol-error response, got {other:?}"),
+    }
+
+    // A request the server does not know (response opcode on the request
+    // stream) is typed, too.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    let mut buf = Vec::new();
+    lll_server::frame::write_frame(&mut buf, 0x81, &[]).unwrap();
+    raw.write_all(&buf).unwrap();
+    raw.flush().unwrap();
+    assert!(matches!(
+        lll_server::Response::read_from(&mut &raw),
+        Ok(lll_server::Response::Error(_))
+    ));
+
+    // The server is still fully alive for well-formed clients.
+    let mut c = Client::connect(addr).unwrap();
+    c.insert(b"still", b"serving").unwrap();
+    assert_eq!(c.get(b"still").unwrap().as_deref(), Some(&b"serving"[..]));
+    server.shutdown();
+}
+
+#[test]
+fn request_display_types_are_inspectable() {
+    // The proto enums are public API: a debug representation and opcode
+    // stability matter for tooling.
+    assert_eq!(Request::Health.opcode(), 0x01);
+    assert_eq!(Request::Drain { final_snapshot: None }.opcode(), 0x0A);
+    let req = Request::Get(b"k".to_vec());
+    assert!(format!("{req:?}").contains("Get"));
+}

@@ -107,6 +107,8 @@ pub struct ShardedMap<K: Ord + Clone, V> {
     shard_seq: AtomicU64,
     splits: AtomicU64,
     merges: AtomicU64,
+    batches: AtomicU64,
+    batched_entries: AtomicU64,
     /// Element moves accumulated by shard backends that splits/merges have
     /// since retired — folded into [`stats`](Self::stats) so the cost
     /// accounting (the paper's move model) never loses history.
@@ -130,6 +132,11 @@ pub struct ShardedStats {
     pub splits: u64,
     /// Shard merges performed since construction.
     pub merges: u64,
+    /// Bulk batches landed via [`ShardedMap::extend_sorted`] /
+    /// [`ShardedMap::extend_from_unsorted`] since construction.
+    pub batches: u64,
+    /// Total entries landed through those batches (after dedup).
+    pub batched_entries: u64,
     /// Per-shard entry counts, in key order.
     pub shard_lens: Vec<usize>,
     /// Per-shard backend capacities, in key order (`shard_lens[i] /
@@ -159,6 +166,8 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
             shard_seq: AtomicU64::new(0),
             splits: AtomicU64::new(0),
             merges: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_entries: AtomicU64::new(0),
             retired_moves: AtomicU64::new(0),
         }
     }
@@ -445,6 +454,8 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
             batch.windows(2).all(|w| w[0].0.cmp(&w[1].0).is_le()),
             "extend_sorted requires keys in ascending order"
         );
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_entries.fetch_add(batch.len() as u64, Ordering::Relaxed);
         let mut overflow = false;
         {
             let dir = rlock(&self.dir);
@@ -471,6 +482,64 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
         }
     }
 
+    /// Merge an **arbitrary-order** batch in bulk: the batch is sorted
+    /// (stable, so equal keys keep arrival order), deduplicated with
+    /// last-write-wins, and routed through the split-key-cutting
+    /// [`extend_sorted`](Self::extend_sorted) — callers can never silently
+    /// hit the per-op slow path. Returns the number of unique entries
+    /// landed.
+    pub fn extend_from_unsorted(&self, mut batch: Vec<(K, V)>) -> usize {
+        batch.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut deduped: Vec<(K, V)> = Vec::with_capacity(batch.len());
+        for entry in batch {
+            match deduped.last_mut() {
+                // Stable sort kept arrival order within equal keys, so the
+                // later arrival overwrites: last write wins.
+                Some(last) if last.0 == entry.0 => *last = entry,
+                _ => deduped.push(entry),
+            }
+        }
+        let landed = deduped.len();
+        self.extend_sorted(deduped);
+        landed
+    }
+
+    /// [`range`](Self::range) capped at `limit` entries: stops locking and
+    /// cloning as soon as the cap is reached. The second component is true
+    /// if at least one more entry existed past the cap (the scan was
+    /// truncated) — the pagination signal a server returns to clients.
+    pub fn range_limited<Q, R>(&self, range: R, limit: usize) -> (Vec<(K, V)>, bool)
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+        R: RangeBounds<Q>,
+        V: Clone,
+    {
+        let dir = rlock(&self.dir);
+        if dir.shards.is_empty() {
+            return (Vec::new(), false);
+        }
+        let lo = match range.start_bound() {
+            Bound::Included(k) | Bound::Excluded(k) => dir.locate(k),
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(k) | Bound::Excluded(k) => dir.locate(k),
+            Bound::Unbounded => dir.shards.len() - 1,
+        };
+        let mut out = Vec::new();
+        for s in &dir.shards[lo..=hi] {
+            let shard = rlock(s);
+            for (k, v) in shard.range((range.start_bound(), range.end_bound())) {
+                if out.len() == limit {
+                    return (out, true);
+                }
+                out.push((k.clone(), v.clone()));
+            }
+        }
+        (out, false)
+    }
+
     /// Aggregate statistics — one pass over the shards (shared locks, one
     /// at a time).
     pub fn stats(&self) -> ShardedStats {
@@ -481,6 +550,8 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
             total_moves: self.retired_moves.load(Ordering::Relaxed),
             splits: self.splits.load(Ordering::Relaxed),
             merges: self.merges.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_entries: self.batched_entries.load(Ordering::Relaxed),
             shard_lens: Vec::with_capacity(dir.shards.len()),
             shard_capacities: Vec::with_capacity(dir.shards.len()),
         };
@@ -950,6 +1021,44 @@ mod tests {
     }
 
     #[test]
+    fn extend_from_unsorted_sorts_dedups_last_write_wins() {
+        let map = tiny().build::<u32, u32>();
+        // Shuffled batch with duplicate keys: the later arrival must win.
+        let landed = map.extend_from_unsorted(vec![(9, 1), (3, 1), (9, 2), (1, 1), (3, 2), (9, 3)]);
+        assert_eq!(landed, 3, "three unique keys");
+        assert_eq!(map.to_vec(), vec![(1, 1), (3, 2), (9, 3)]);
+        // Routes through the bulk path, never per-op inserts.
+        let stats = map.stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.batched_entries, 3);
+        // A big shuffled batch still pre-shards via extend_sorted.
+        let mut big: Vec<(u32, u32)> = (0..500).map(|k| (k * 7 % 500, k)).collect();
+        big.reverse();
+        map.extend_from_unsorted(big);
+        map.check_invariants();
+        assert_eq!(map.len(), 500);
+        assert!(map.shard_count() > 4, "bulk merge must still split shards");
+    }
+
+    #[test]
+    fn range_limited_caps_and_reports_truncation() {
+        let map = tiny().build_from_sorted::<u32, u32>((0..300).map(|k| (k, k)).collect());
+        assert!(map.shard_count() > 2);
+        let (hits, truncated) = map.range_limited(10..290, 5);
+        assert_eq!(hits, (10..15).map(|k| (k, k)).collect::<Vec<_>>());
+        assert!(truncated, "280 candidates cut to 5 must report truncation");
+        let (hits, truncated) = map.range_limited(295.., usize::MAX);
+        assert_eq!(hits.len(), 5);
+        assert!(!truncated);
+        let (hits, truncated) = map.range_limited(100..105, 5);
+        assert_eq!(hits.len(), 5);
+        assert!(!truncated, "exactly-limit scans are not truncated");
+        let (hits, truncated) = map.range_limited(.., 0);
+        assert!(hits.is_empty());
+        assert!(truncated, "limit 0 over a non-empty range is truncated");
+    }
+
+    #[test]
     fn stats_track_occupancy() {
         let map = tiny().build::<u32, u32>();
         for k in 0..200 {
@@ -961,6 +1070,7 @@ mod tests {
         assert_eq!(stats.shard_lens.len(), stats.shards);
         assert_eq!(stats.shard_capacities.len(), stats.shards);
         assert!(stats.total_moves > 0);
+        assert_eq!(stats.batches, 0, "point inserts are not batches");
         assert!(stats.shard_lens.iter().zip(&stats.shard_capacities).all(|(l, c)| l <= c));
         let line = format!("{stats}");
         assert!(line.contains("200 entries"), "display: {line}");
