@@ -21,7 +21,9 @@
 //! amortized bound (the uneven layout still respects every window's density
 //! thresholds).
 
-use lll_core::density::{even_targets, SegTree, Thresholds};
+#![forbid(unsafe_code)]
+
+use lll_core::density::{even_targets_into, SegTree, Thresholds};
 use lll_core::pma::{PmaBase, RebalancePolicy};
 use lll_core::slot_array::SlotArray;
 use lll_core::traits::{log2f, LabelingBuilder};
@@ -81,13 +83,21 @@ impl AdaptivePolicy {
 
     /// Allocate `k` elements across the segments of `[a, b)` so that hot
     /// segments keep more free slots, then lay each segment's share out
-    /// evenly inside it. Produces strictly increasing in-window targets.
-    fn uneven_targets(&mut self, tree: &SegTree, a: usize, b: usize, k: usize) -> Vec<usize> {
+    /// evenly inside it. Appends strictly increasing in-window targets to
+    /// `out` (which arrives empty).
+    fn uneven_targets_into(
+        &mut self,
+        tree: &SegTree,
+        a: usize,
+        b: usize,
+        k: usize,
+        out: &mut Vec<usize>,
+    ) {
         let s0 = tree.seg_of(a);
         let s1 = tree.seg_of(b - 1);
         let segs = s1 - s0 + 1;
         if segs <= 1 || k == 0 {
-            return even_targets(a, b, k);
+            return even_targets_into(a, b, k, out);
         }
         self.ensure_counts(tree.num_segs());
         let widths: Vec<usize> =
@@ -152,25 +162,24 @@ impl AdaptivePolicy {
         if left > 0 {
             // The clamps were collectively too tight (tiny windows); even
             // spread is always feasible.
-            return even_targets(a, b, k);
+            return even_targets_into(a, b, k, out);
         }
 
         // Per-segment element counts, then even layout inside each segment.
-        let mut targets = Vec::with_capacity(k);
         let mut placed = 0usize;
         for (i, s) in (s0..=s1).enumerate() {
             let seg_a = tree.seg_start(s).max(a);
             let seg_b = tree.seg_start(s + 1).min(b);
             let elems = (widths[i] - gaps[i]).min(k - placed);
-            targets.extend(even_targets(seg_a, seg_b, elems));
+            even_targets_into(seg_a, seg_b, elems, out);
             placed += elems;
         }
         if placed < k {
             // Rounding starved the tail; redo evenly (rare, small windows).
-            return even_targets(a, b, k);
+            out.clear();
+            return even_targets_into(a, b, k, out);
         }
-        debug_assert!(targets.windows(2).all(|w| w[0] < w[1]));
-        targets
+        debug_assert!(out.windows(2).all(|w| w[0] < w[1]));
     }
 }
 
@@ -183,9 +192,16 @@ impl RebalancePolicy for AdaptivePolicy {
         self.thresholds.lower(level, height)
     }
 
-    fn targets(&mut self, tree: &SegTree, slots: &SlotArray, a: usize, b: usize) -> Vec<usize> {
+    fn targets_into(
+        &mut self,
+        tree: &SegTree,
+        slots: &SlotArray,
+        a: usize,
+        b: usize,
+        out: &mut Vec<usize>,
+    ) {
         let k = slots.occupied_in(a, b);
-        self.uneven_targets(tree, a, b, k)
+        self.uneven_targets_into(tree, a, b, k, out);
     }
 
     fn on_insert(&mut self, tree: &SegTree, pos: usize) {

@@ -43,6 +43,8 @@
 //! `Growable<B>` — including layered compositions the [`Backend`] enum
 //! doesn't enumerate.
 
+#![forbid(unsafe_code)]
+
 mod backend;
 pub mod cursor;
 pub mod label_map;

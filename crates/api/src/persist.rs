@@ -54,6 +54,9 @@
 //! orders of magnitude slower. In-memory targets (`Vec<u8>`, byte slices)
 //! need no wrapping.
 
+// lll-check: enforce(panic-free-decode)
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::backend::{Backend, ListConfig};
 use std::fmt;
 use std::io::{Read, Write};
@@ -234,7 +237,7 @@ impl Codec for usize {
 
 impl Codec for bool {
     fn encode<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError> {
-        (*self as u8).encode(w)
+        u8::from(*self).encode(w)
     }
 
     fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, SnapshotError> {
@@ -460,6 +463,7 @@ impl Header {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -8,6 +8,8 @@
 //! (CI smoke run); full mode is what EXPERIMENTS.md records. Run in
 //! release mode: `cargo run -p lll-bench --release --bin experiments`.
 
+#![forbid(unsafe_code)]
+
 use lll_bench::experiments::{all_experiments, ExpConfig};
 use std::path::PathBuf;
 

@@ -11,6 +11,8 @@
 //! throughput is measured separately by the Criterion benches in
 //! `benches/`.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod harness;
 pub mod table;

@@ -1,0 +1,14 @@
+// Known-bad fixture: an allow with no justification is itself a finding
+// (the suppression must say why), and an allow naming an unknown rule is
+// a grammar finding.
+// lll-check: enforce(panic-free-decode)
+
+pub fn decode(buf: &[u8]) -> u8 {
+    // finding: naked allow — no justification
+    // lll-check: allow(panic-free-decode)
+    let first = buf[0];
+    // finding: unknown rule name in allow
+    // lll-check: allow(panick-free-decode, typo in the rule name)
+    let second = buf[1];
+    first ^ second
+}

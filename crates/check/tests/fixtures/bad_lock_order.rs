@@ -1,0 +1,57 @@
+// Known-bad fixture: acquisition sites that invert the directory→shard
+// lock order the annotated fields declare.
+
+use std::sync::RwLock;
+
+pub struct Directory {
+    pub shard_bounds: Vec<u64>,
+    // lock-order: shard
+    pub shards: Vec<RwLock<Vec<u64>>>,
+}
+
+pub struct Map {
+    // lock-order: directory
+    pub dir: RwLock<Directory>,
+}
+
+fn rlock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Map {
+    pub fn bad_nested_shards(&self) -> usize {
+        let dir = rlock(&self.dir);
+        let left = rlock(&dir.shards[0]);
+        {
+            // finding: second shard lock while `left` is live
+            let right = rlock(&dir.shards[1]);
+            left.len() + right.len()
+        }
+    }
+
+    pub fn bad_dir_under_shard(&self, outer: &Directory) -> usize {
+        let shard = rlock(&outer.shards[0]);
+        // finding: directory lock under a shard lock
+        let dir = rlock(&self.dir);
+        shard.len() + dir.shard_bounds.len()
+    }
+
+    pub fn bad_raw_acquire(&self) -> usize {
+        // finding: raw .read() on an annotated field bypasses the tracker
+        self.dir.read().map(|d| d.shard_bounds.len()).unwrap_or(0)
+    }
+
+    pub fn fine_sequential(&self) -> usize {
+        let n = {
+            let dir = rlock(&self.dir);
+            let left = rlock(&dir.shards[0]);
+            left.len()
+        };
+        let m = {
+            let dir = rlock(&self.dir);
+            let right = rlock(&dir.shards[1]);
+            right.len()
+        };
+        n + m
+    }
+}

@@ -1,0 +1,31 @@
+// Known-bad fixture: annotated hot-path functions that allocate.
+
+// lll-check: no-alloc
+pub fn hot_path(xs: &[u64]) -> Vec<u64> {
+    // finding: allocating constructor
+    let mut out = Vec::new();
+    out.extend_from_slice(xs);
+    // finding: `to_vec`
+    let copy = xs.to_vec();
+    out.extend(copy);
+    out
+}
+
+// lll-check: no-alloc
+#[inline]
+pub fn hot_label(x: u64) -> String {
+    // finding: `format!`
+    format!("{x:016x}")
+}
+
+// lll-check: no-alloc
+pub fn fine(xs: &[u64], dst: &mut Vec<u64>) -> u64 {
+    // Reusing caller scratch is the sanctioned pattern.
+    dst.clear();
+    dst.extend_from_slice(xs);
+    dst.iter().sum()
+}
+
+pub fn unannotated_may_alloc(xs: &[u64]) -> Vec<u64> {
+    xs.to_vec()
+}

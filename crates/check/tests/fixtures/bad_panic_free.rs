@@ -1,0 +1,39 @@
+// Known-bad fixture: every way a decode module can reintroduce a panic.
+// lll-check: enforce(panic-free-decode)
+
+pub fn decode(buf: &[u8]) -> u32 {
+    // finding: direct indexing
+    let first = buf[0];
+    // finding: `.unwrap()`
+    let parsed: u32 = std::str::from_utf8(buf).unwrap().parse().unwrap_or(0);
+    // finding: `.expect()`
+    let tail = buf.last().expect("empty buffer");
+    // finding: truncating cast
+    let short = parsed as u16;
+    if first == 0 {
+        // finding: panic!
+        panic!("zero prefix");
+    }
+    if *tail == 0xFF {
+        // finding: unreachable!
+        unreachable!();
+    }
+    u32::from(short)
+}
+
+pub fn not_flagged(buf: &[u8]) -> u64 {
+    // `unwrap_or` / `unwrap_or_else` / widening casts are fine.
+    let v = buf.first().copied().unwrap_or(0);
+    let w = std::str::from_utf8(buf).map(str::len).unwrap_or_else(|_| 0);
+    v as u64 + w as u64
+}
+
+#[cfg(test)]
+mod tests {
+    // Test modules are exempt: unwrap freely.
+    #[test]
+    fn roundtrip() {
+        let v: u32 = "7".parse().unwrap();
+        assert_eq!(v, 7);
+    }
+}

@@ -1,0 +1,9 @@
+// Known-bad fixture: a crate root with no forbid attribute and an
+// un-whitelisted unsafe block.
+// lll-check: assume(crate-root)
+
+pub fn sneaky(p: *const u32) -> u32 {
+    // finding: `unsafe` outside the whitelist (and the missing
+    // `#![forbid(unsafe_code)]` at the root is a second finding)
+    unsafe { *p }
+}

@@ -1,0 +1,13 @@
+// Known-bad fixture: a *whitelisted* file still owes every unsafe block
+// a SAFETY comment.
+// lll-check: assume(unsafe-allowed)
+
+pub fn undocumented(p: *const u32) -> u32 {
+    // finding: whitelisted unsafe with no SAFETY comment
+    unsafe { *p }
+}
+
+pub fn documented(slice: &[u32]) -> u32 {
+    // SAFETY: the index is bounds-checked on the line above the read.
+    if slice.is_empty() { 0 } else { unsafe { *slice.as_ptr() } }
+}

@@ -1,0 +1,28 @@
+// Known-good fixture: the linter must stay silent here — justified
+// allows, exempt test modules, widening casts, and a clean no-alloc fn.
+// lll-check: enforce(panic-free-decode)
+
+pub fn decode(buf: &[u8]) -> u64 {
+    // lll-check: allow(panic-free-decode, index is guarded by the len check on the previous line)
+    let first = if buf.len() >= 2 { buf[0] } else { 0 };
+    let wide = first as u64;
+    // lll-check: allow(panic-free-decode, cast is a checked narrowing — value is masked to 16 bits)
+    let low = (wide & 0xFFFF) as u16;
+    wide + u64::from(low)
+}
+
+// lll-check: no-alloc
+pub fn sum_into(xs: &[u64], acc: &mut u64) {
+    for x in xs {
+        *acc = acc.wrapping_add(*x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v: u64 = "9".parse().unwrap();
+        assert_eq!(v, 9);
+    }
+}

@@ -12,6 +12,8 @@
 //! keeps elements packed in a prefix (what you get with a plain `Vec`), used
 //! by experiment E10 to anchor the scaling plots.
 
+#![forbid(unsafe_code)]
+
 pub mod shift_array;
 
 pub use lll_core::pma::{ClassicBuilder, ClassicPolicy, PmaBase};

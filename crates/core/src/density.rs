@@ -167,14 +167,24 @@ impl Thresholds {
     }
 }
 
-/// Compute evenly spread target positions for `k` elements in `[a, b)`.
+/// Append evenly spread target positions for `k` elements in `[a, b)` to
+/// `out` — the allocation-free form used on the steady-state rebalance
+/// path, where callers hand in a reusable scratch buffer.
 ///
 /// Targets are strictly increasing and the spacing of any two consecutive
 /// targets differs by at most one slot — the canonical PMA layout.
-pub fn even_targets(a: usize, b: usize, k: usize) -> Vec<usize> {
+pub fn even_targets_into(a: usize, b: usize, k: usize, out: &mut Vec<usize>) {
     let w = b - a;
     assert!(k <= w, "cannot place {k} elements in window of {w}");
-    (0..k).map(|i| a + (i * w) / k.max(1)).collect()
+    out.extend((0..k).map(|i| a + (i * w) / k.max(1)));
+}
+
+/// Compute evenly spread target positions for `k` elements in `[a, b)`.
+/// Allocating convenience wrapper around [`even_targets_into`].
+pub fn even_targets(a: usize, b: usize, k: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(k);
+    even_targets_into(a, b, k, &mut out);
+    out
 }
 
 #[cfg(test)]

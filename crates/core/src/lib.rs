@@ -29,6 +29,8 @@
 //! * [`testkit`] — a reference oracle used by unit, integration and property
 //!   tests across the workspace.
 
+#![forbid(unsafe_code)]
+
 pub mod bitmap;
 pub mod cost;
 pub mod density;

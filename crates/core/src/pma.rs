@@ -25,7 +25,7 @@
 //! [`SlotArray`], so every atomic move preserves sorted order and is
 //! cost-logged.
 
-use crate::density::{even_targets, SegTree, Thresholds};
+use crate::density::{even_targets_into, SegTree, Thresholds};
 use crate::ids::{ElemId, IdGen};
 use crate::ops::Op;
 use crate::report::{BulkReport, OpReport};
@@ -43,12 +43,21 @@ pub trait RebalancePolicy {
     fn lower(&mut self, level: usize, height: usize, window: (usize, usize)) -> f64;
 
     /// Target positions for the `k` elements currently in `[a, b)`, in rank
-    /// order. Must return `k` strictly increasing positions within `[a, b)`.
+    /// order, appended to `out` (which arrives empty — the PMA owns it as a
+    /// reusable scratch buffer, so steady-state rebalances allocate nothing).
+    /// Must append `k` strictly increasing positions within `[a, b)`.
     /// The default is the canonical even spread.
-    fn targets(&mut self, tree: &SegTree, slots: &SlotArray, a: usize, b: usize) -> Vec<usize> {
+    fn targets_into(
+        &mut self,
+        tree: &SegTree,
+        slots: &SlotArray,
+        a: usize,
+        b: usize,
+        out: &mut Vec<usize>,
+    ) {
         let k = slots.occupied_in(a, b);
         let _ = tree;
-        even_targets(a, b, k)
+        even_targets_into(a, b, k, out);
     }
 
     /// Hook: an element was just placed at `pos` (adaptive policies learn
@@ -79,6 +88,9 @@ pub struct PmaBase<P: RebalancePolicy> {
     /// Reusable `(from, to)` buffer for rebalance sweeps (no per-rebalance
     /// allocation).
     pairs_scratch: Vec<(usize, usize)>,
+    /// Reusable buffer handed to [`RebalancePolicy::targets_into`] — the
+    /// other half of the zero-alloc steady-state rebalance.
+    targets_scratch: Vec<usize>,
 }
 
 impl<P: RebalancePolicy> PmaBase<P> {
@@ -95,6 +107,7 @@ impl<P: RebalancePolicy> PmaBase<P> {
             rebalances: 0,
             rebalance_moves: 0,
             pairs_scratch: Vec::new(),
+            targets_scratch: Vec::new(),
         }
     }
 
@@ -134,7 +147,9 @@ impl<P: RebalancePolicy> PmaBase<P> {
     /// [`iter_occupied_in`](SlotArray::iter_occupied_in) — O(window) work,
     /// never an O(m) full-array scan.
     fn rebalance(&mut self, level: usize, a: usize, b: usize) {
-        let targets = self.policy.targets(&self.tree, &self.slots, a, b);
+        let mut targets = std::mem::take(&mut self.targets_scratch);
+        targets.clear();
+        self.policy.targets_into(&self.tree, &self.slots, a, b, &mut targets);
         debug_assert!(targets.windows(2).all(|w| w[0] < w[1]), "targets not increasing");
         debug_assert!(targets.iter().all(|&t| a <= t && t < b), "target outside window");
         let mut pairs = std::mem::take(&mut self.pairs_scratch);
@@ -147,6 +162,7 @@ impl<P: RebalancePolicy> PmaBase<P> {
         spread_moves(&mut self.slots, &pairs);
         let moved = self.slots.pending_log_len() - before;
         self.pairs_scratch = pairs;
+        self.targets_scratch = targets;
         self.rebalances += 1;
         self.rebalance_moves += moved as u64;
         self.policy.on_rebalance(level, (a, b));

@@ -34,7 +34,9 @@
 //! hard cap on every single operation's cost — is preserved and *measured*
 //! rather than proven.
 
-use lll_core::density::{even_targets, SegTree, Thresholds};
+#![forbid(unsafe_code)]
+
+use lll_core::density::{even_targets_into, SegTree, Thresholds};
 use lll_core::ids::{ElemId, IdGen};
 use lll_core::report::{BulkReport, OpReport};
 use lll_core::slot_array::{merge_sorted, SlotArray};
@@ -110,6 +112,14 @@ pub struct DeamortizedPma {
     work_quota: usize,
     shift_cap: usize,
     inline_cap: usize,
+    /// Reusable buffer for the even-spread plan in [`Self::create_job`].
+    targets_scratch: Vec<usize>,
+    /// Reusable buffer for the right-moving half of a plan.
+    movers_scratch: Vec<(ElemId, usize)>,
+    /// Retired job queues, recycled by [`Self::create_job`] — steady-state
+    /// churn creates and completes jobs constantly, and reusing their
+    /// queues keeps that cycle allocation-free once warm.
+    queue_pool: Vec<Vec<(ElemId, usize)>>,
 }
 
 impl DeamortizedPma {
@@ -130,6 +140,9 @@ impl DeamortizedPma {
             work_quota: ((cfg.work_mult * lg * lg).ceil() as usize).max(4),
             shift_cap: ((cfg.shift_cap_mult * lg).ceil() as usize).max(4),
             inline_cap: ((cfg.inline_cap_mult * lg * lg).ceil() as usize).max(16),
+            targets_scratch: Vec::new(),
+            movers_scratch: Vec::new(),
+            queue_pool: Vec::new(),
         }
     }
 
@@ -204,34 +217,40 @@ impl DeamortizedPma {
             }
         } else {
             // A synchronous rebalance invalidates any plan nested in it.
-            let before = self.jobs.len();
-            self.jobs.retain(|j| !(a <= j.a && j.b <= b));
-            self.stats.jobs_completed += (before - self.jobs.len()) as u64;
+            self.invalidate_jobs_within(a, b);
         }
 
         let k = self.slots.occupied_in(a, b);
-        let targets = even_targets(a, b, k);
-        let mut left_movers = Vec::new();
-        let mut right_movers = Vec::new();
+        let mut targets = std::mem::take(&mut self.targets_scratch);
+        targets.clear();
+        even_targets_into(a, b, k, &mut targets);
+        // Left-movers go straight into the (recycled) queue ascending; the
+        // right-movers collect in scratch and append reversed.
+        let mut queue = self.queue_pool.pop().unwrap_or_default();
+        queue.clear();
+        let mut right_movers = std::mem::take(&mut self.movers_scratch);
+        right_movers.clear();
         for (i, (pos, elem)) in self.slots.iter_occupied_in(a, b).enumerate() {
             let t = targets[i];
             if t < pos {
-                left_movers.push((elem, t));
+                queue.push((elem, t));
             } else if t > pos {
                 right_movers.push((elem, t));
             }
         }
-        // Safe order: left-movers ascending (they are generated ascending),
-        // then right-movers descending.
-        right_movers.reverse();
-        left_movers.extend(right_movers);
-        let mut job = Job { a, b, queue: left_movers, cursor: 0 };
+        // Safe order: left-movers ascending, then right-movers descending.
+        queue.extend(right_movers.drain(..).rev());
+        self.targets_scratch = targets;
+        self.movers_scratch = right_movers;
+        let mut job = Job { a, b, queue, cursor: 0 };
         self.stats.jobs_created += 1;
         if sync {
             self.drain_job(&mut job, usize::MAX);
             self.stats.jobs_completed += 1;
+            self.recycle_queue(job.queue);
         } else if job.remaining() == 0 {
             self.stats.jobs_completed += 1;
+            self.recycle_queue(job.queue);
         } else {
             self.jobs.push(job);
             // Backstop: never let the job set grow unboundedly; complete the
@@ -242,7 +261,31 @@ impl DeamortizedPma {
                 let mut smallest = self.jobs.remove(0);
                 self.drain_job(&mut smallest, usize::MAX);
                 self.stats.jobs_completed += 1;
+                self.recycle_queue(smallest.queue);
             }
+        }
+    }
+
+    /// Complete-by-invalidation every job nested in `[a, b)`, recycling
+    /// their queues.
+    fn invalidate_jobs_within(&mut self, a: usize, b: usize) {
+        let mut i = 0;
+        while i < self.jobs.len() {
+            if a <= self.jobs[i].a && self.jobs[i].b <= b {
+                let job = self.jobs.remove(i);
+                self.stats.jobs_completed += 1;
+                self.recycle_queue(job.queue);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Return a finished job's queue to the pool (bounded; excess is freed).
+    fn recycle_queue(&mut self, mut queue: Vec<(ElemId, usize)>) {
+        if queue.capacity() > 0 && self.queue_pool.len() < 16 {
+            queue.clear();
+            self.queue_pool.push(queue);
         }
     }
 
@@ -305,6 +348,7 @@ impl DeamortizedPma {
             if job.remaining() == 0 {
                 self.stats.jobs_completed += 1;
                 self.jobs.remove(i);
+                self.recycle_queue(job.queue);
             } else {
                 self.jobs[i] = job;
                 i += 1;
@@ -314,10 +358,11 @@ impl DeamortizedPma {
 
     /// Run every active job to completion (forced path only).
     fn complete_all_jobs(&mut self) {
-        let mut jobs = std::mem::take(&mut self.jobs);
-        for job in &mut jobs {
-            self.drain_job(job, usize::MAX);
+        let jobs = std::mem::take(&mut self.jobs);
+        for mut job in jobs {
+            self.drain_job(&mut job, usize::MAX);
             self.stats.jobs_completed += 1;
+            self.recycle_queue(job.queue);
         }
     }
 
@@ -421,6 +466,7 @@ impl DeamortizedPma {
                     if job.remaining() == 0 {
                         self.stats.jobs_completed += 1;
                         self.jobs.remove(i);
+                        self.recycle_queue(job.queue);
                         continue;
                     }
                     self.jobs[i] = job;
@@ -656,9 +702,7 @@ impl ListLabeling for DeamortizedPma {
             // The root always fits physically (capacity < num_slots).
             choice.unwrap_or_else(|| self.tree.root_window())
         };
-        let completed = self.jobs.len();
-        self.jobs.retain(|j| !(a <= j.a && j.b <= b));
-        self.stats.jobs_completed += (completed - self.jobs.len()) as u64;
+        self.invalidate_jobs_within(a, b);
         self.stats.inline_rebalances += 1;
         let at = rank - self.slots.rank_at(a);
         let ids: Vec<ElemId> = (0..count).map(|_| self.ids.fresh()).collect();

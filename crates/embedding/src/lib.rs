@@ -22,6 +22,8 @@
 //! occupancy) is instrumented via [`embed::EmbedStats`] and exercised in
 //! this crate's tests and in the workspace's experiment harness.
 
+#![forbid(unsafe_code)]
+
 pub mod embed;
 pub mod layered;
 pub mod tag_array;

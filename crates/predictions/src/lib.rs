@@ -23,6 +23,8 @@
 //! scaled to capacity), under which the structure behaves like a classical
 //! PMA.
 
+#![forbid(unsafe_code)]
+
 use lll_core::density::{even_targets, SegTree, Thresholds};
 use lll_core::ids::IdGen;
 use lll_core::report::OpReport;

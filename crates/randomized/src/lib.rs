@@ -29,7 +29,9 @@
 //! tails, no worst-case bound. The embedding (the paper's contribution)
 //! then restores worst-case bounds by layering `Y` over `Z`.
 
-use lll_core::density::{even_targets, SegTree, Thresholds};
+#![forbid(unsafe_code)]
+
+use lll_core::density::{even_targets_into, SegTree, Thresholds};
 use lll_core::pma::{PmaBase, RebalancePolicy};
 use lll_core::slot_array::SlotArray;
 use lll_core::traits::{log2f, LabelingBuilder};
@@ -107,23 +109,28 @@ impl RebalancePolicy for RandomizedPolicy {
         self.thresholds.lower(level, height)
     }
 
-    fn targets(&mut self, _tree: &SegTree, slots: &SlotArray, a: usize, b: usize) -> Vec<usize> {
+    fn targets_into(
+        &mut self,
+        _tree: &SegTree,
+        slots: &SlotArray,
+        a: usize,
+        b: usize,
+        out: &mut Vec<usize>,
+    ) {
         let k = slots.occupied_in(a, b);
         if !self.cfg.jittered_layout || k == 0 {
-            return even_targets(a, b, k);
+            return even_targets_into(a, b, k, out);
         }
         // Element i is placed uniformly at random within its stride
         // [⌊i·w/k⌋, ⌊(i+1)·w/k⌋): strictly increasing by construction, and
         // the layout distribution depends only on (a, b, k) — a
         // history-independent state distribution.
         let w = b - a;
-        (0..k)
-            .map(|i| {
-                let lo = (i * w) / k;
-                let hi = ((i + 1) * w) / k;
-                a + self.rng.gen_range(lo..hi.max(lo + 1))
-            })
-            .collect()
+        out.extend((0..k).map(|i| {
+            let lo = (i * w) / k;
+            let hi = ((i + 1) * w) / k;
+            a + self.rng.gen_range(lo..hi.max(lo + 1))
+        }));
     }
 
     fn on_rebalance(&mut self, _level: usize, window: (usize, usize)) {

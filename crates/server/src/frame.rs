@@ -25,6 +25,9 @@
 //! [`PREALLOC_CAP`] and grow only as bytes actually arrive. A stream that ends mid-frame is
 //! [`WireError::Truncated`], never a hang on a lying length.
 
+// lll-check: enforce(panic-free-decode)
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use lll_api::persist::{decode_len, Codec, SnapshotError, PREALLOC_CAP};
 use std::fmt;
 use std::io::{ErrorKind, Read, Write};
@@ -138,13 +141,18 @@ pub struct Frame {
 }
 
 /// Write one frame: header, then body. The caller flushes (responses are
-/// written through a `BufWriter`; an unflushed frame is not sent).
+/// written through a `BufWriter`; an unflushed frame is not sent). A body
+/// over [`MAX_FRAME_LEN`] is refused as [`WireError::FrameTooLarge`]
+/// before any header byte is written — the stream stays clean.
 pub fn write_frame<W: Write + ?Sized>(w: &mut W, opcode: u8, body: &[u8]) -> Result<(), WireError> {
-    debug_assert!(body.len() as u64 <= MAX_FRAME_LEN as u64, "oversized frame produced locally");
+    let len = u32::try_from(body.len())
+        .ok()
+        .filter(|l| *l <= MAX_FRAME_LEN)
+        .ok_or(WireError::FrameTooLarge { declared: body.len() as u64 })?;
     w.write_all(&WIRE_MAGIC)?;
     WIRE_VERSION.encode(w)?;
     opcode.encode(w)?;
-    (body.len() as u32).encode(w)?;
+    len.encode(w)?;
     w.write_all(body)?;
     Ok(())
 }
@@ -157,6 +165,7 @@ pub fn write_frame<W: Write + ?Sized>(w: &mut W, opcode: u8, body: &[u8]) -> Res
 pub(crate) fn read_full<R: Read + ?Sized>(r: &mut R, buf: &mut [u8]) -> Result<(), WireError> {
     let mut filled = 0;
     while filled < buf.len() {
+        // lll-check: allow(panic-free-decode, filled < buf.len() is the loop guard one line up)
         match r.read(&mut buf[filled..]) {
             Ok(0) => return Err(WireError::Truncated),
             Ok(n) => filled += n,
@@ -181,15 +190,16 @@ pub fn read_frame<R: Read + ?Sized>(r: &mut R) -> Result<Frame, WireError> {
     }
     let mut header = [0u8; 7];
     read_full(r, &mut header)?;
-    let version = u16::from_le_bytes([header[0], header[1]]);
+    let [v0, v1, opcode, l0, l1, l2, l3] = header;
+    let version = u16::from_le_bytes([v0, v1]);
     if version != WIRE_VERSION {
         return Err(WireError::UnsupportedVersion { found: version });
     }
-    let opcode = header[2];
-    let len = u32::from_le_bytes([header[3], header[4], header[5], header[6]]);
+    let len = u32::from_le_bytes([l0, l1, l2, l3]);
     if len > MAX_FRAME_LEN {
         return Err(WireError::FrameTooLarge { declared: len as u64 });
     }
+    // lll-check: allow(panic-free-decode, u32 → usize is widening on every supported target)
     let mut body = vec![0u8; len as usize];
     read_full(r, &mut body)?;
     Ok(Frame { opcode, body })

@@ -45,6 +45,8 @@
 //! semantics, bench reproduction — is `docs/server.md` at the repository
 //! root.
 
+#![forbid(unsafe_code)]
+
 pub mod frame;
 pub mod proto;
 

@@ -51,7 +51,10 @@
 //! operation. See `docs/sharding.md` in the repository root for the full
 //! runbook (policy knobs, lock order, split/merge invariants).
 
+#![forbid(unsafe_code)]
+
 mod builder;
+mod lock_order;
 mod map;
 
 pub use builder::ShardedBuilder;

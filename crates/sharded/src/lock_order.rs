@@ -1,0 +1,229 @@
+//! Runtime enforcement of the two-level locking protocol.
+//!
+//! The crate's invariant — directory before shard, at most one shard at a
+//! time, never the reverse — is enforced twice: statically by `lll-check`
+//! (every acquisition site names its [`Level`], and the linter simulates
+//! guard lifetimes lexically) and dynamically by the debug-build tracker
+//! in this module, which counts the guards each thread holds and panics
+//! the moment an acquisition would invert the order. The check runs
+//! *before* blocking on the `RwLock`, so an ordering bug surfaces as an
+//! immediate panic with a message instead of a silent deadlock. In
+//! release builds the tracker compiles to nothing: [`Tracked`] is a
+//! newtype over the guard and the token is a zero-sized no-op.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// The two lock levels of the protocol, outermost first.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Level {
+    /// The split-key table + shard vector (`ShardedMap::dir`).
+    Directory,
+    /// One shard's `LabelMap` (an entry of `Directory::shards`).
+    Shard,
+}
+
+#[cfg(debug_assertions)]
+mod tracker {
+    use super::Level;
+    use std::cell::Cell;
+
+    thread_local! {
+        /// (directory, shard) guard counts live on this thread.
+        static HELD: Cell<(u32, u32)> = const { Cell::new((0, 0)) };
+    }
+
+    /// RAII witness of one guard. Acquired *before* blocking on the lock
+    /// — a would-be self-deadlock panics instead of hanging — and dropped
+    /// *after* the guard it tracks (field order in `Tracked` guarantees
+    /// the lock is released first).
+    pub(crate) struct Token {
+        level: Level,
+    }
+
+    impl Token {
+        pub(crate) fn acquire(level: Level) -> Self {
+            HELD.with(|h| {
+                let (dir, shard) = h.get();
+                match level {
+                    Level::Directory => {
+                        assert!(
+                            shard == 0,
+                            "lock-order inversion: directory lock requested while {shard} shard \
+                             guard(s) are live (order is directory → shard)"
+                        );
+                        assert!(
+                            dir == 0,
+                            "lock-order inversion: directory lock re-entered on one thread \
+                             (RwLock is not re-entrant)"
+                        );
+                        h.set((dir + 1, shard));
+                    }
+                    Level::Shard => {
+                        assert!(
+                            shard == 0,
+                            "lock-order inversion: a second shard lock requested while one is \
+                             live (at most one shard at a time)"
+                        );
+                        h.set((dir, shard + 1));
+                    }
+                }
+            });
+            Token { level }
+        }
+    }
+
+    impl Drop for Token {
+        fn drop(&mut self) {
+            HELD.with(|h| {
+                let (dir, shard) = h.get();
+                match self.level {
+                    Level::Directory => h.set((dir - 1, shard)),
+                    Level::Shard => h.set((dir, shard - 1)),
+                }
+            });
+        }
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod tracker {
+    /// Release builds: no state, no checks, no code.
+    pub(crate) struct Token;
+
+    impl Token {
+        #[inline(always)]
+        pub(crate) fn acquire(_level: super::Level) -> Self {
+            Token
+        }
+    }
+}
+
+/// A lock guard paired with its order-tracker token. Derefs to the
+/// guarded value exactly like the bare guard would.
+pub(crate) struct Tracked<G> {
+    // Field order is load-bearing: `guard` drops first, so the lock is
+    // released before the token decrements this thread's hold count.
+    guard: G,
+    _order: tracker::Token,
+}
+
+impl<G: Deref> Deref for Tracked<G> {
+    type Target = G::Target;
+
+    fn deref(&self) -> &G::Target {
+        &self.guard
+    }
+}
+
+impl<G: DerefMut> DerefMut for Tracked<G> {
+    fn deref_mut(&mut self) -> &mut G::Target {
+        &mut self.guard
+    }
+}
+
+/// Shared-lock acquisition that survives a poisoned lock: the maps hold no
+/// invariant that a panicking reader could have broken mid-flight, and a
+/// panicking *writer* aborts the whole differential test run anyway — so
+/// recovery beats cascading poison panics across unrelated threads.
+pub(crate) fn rlock<T>(lock: &RwLock<T>, level: Level) -> Tracked<RwLockReadGuard<'_, T>> {
+    let order = tracker::Token::acquire(level);
+    Tracked { guard: lock.read().unwrap_or_else(|e| e.into_inner()), _order: order }
+}
+
+/// Exclusive-lock counterpart of [`rlock`].
+pub(crate) fn wlock<T>(lock: &RwLock<T>, level: Level) -> Tracked<RwLockWriteGuard<'_, T>> {
+    let order = tracker::Token::acquire(level);
+    Tracked { guard: lock.write().unwrap_or_else(|e| e.into_inner()), _order: order }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{rlock, wlock, Level};
+    use std::sync::RwLock;
+
+    #[test]
+    fn legal_orders_are_silent() {
+        let dir = RwLock::new(0u32);
+        let shard_a = RwLock::new(0u32);
+        let shard_b = RwLock::new(0u32);
+        {
+            // Directory, then one shard.
+            let d = rlock(&dir, Level::Directory);
+            let a = rlock(&shard_a, Level::Shard);
+            assert_eq!(*d + *a, 0);
+        }
+        {
+            // One shard at a time, sequentially, is the scan pattern.
+            let d = rlock(&dir, Level::Directory);
+            for s in [&shard_a, &shard_b] {
+                let g = rlock(s, Level::Shard);
+                assert_eq!(*g, *d);
+            }
+        }
+        // Exclusive directory with no shard guards is the barrier.
+        let mut d = wlock(&dir, Level::Directory);
+        *d += 1;
+    }
+
+    #[test]
+    fn tracker_state_survives_a_panic() {
+        // An inversion panic must unwind cleanly: the poisoned attempt's
+        // guards drop, and the thread can lock legally again.
+        let dir = RwLock::new(0u32);
+        let shard = RwLock::new(0u32);
+        if cfg!(debug_assertions) {
+            let result = std::panic::catch_unwind(|| {
+                let _s = rlock(&shard, Level::Shard);
+                let _d = rlock(&dir, Level::Directory);
+            });
+            assert!(result.is_err(), "inversion must panic in debug builds");
+        }
+        let _d = rlock(&dir, Level::Directory);
+        let _s = rlock(&shard, Level::Shard);
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        should_panic(expected = "lock-order inversion: directory lock requested")
+    )]
+    fn directory_under_shard_panics_in_debug() {
+        let dir = RwLock::new(0u32);
+        let shard = RwLock::new(0u32);
+        let _s = rlock(&shard, Level::Shard);
+        // In release builds the tracker is compiled out and these are two
+        // unrelated RwLocks, so the body completes without panicking and
+        // the should_panic expectation is compiled out with it.
+        let _d = wlock(&dir, Level::Directory);
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        should_panic(expected = "lock-order inversion: a second shard lock")
+    )]
+    fn two_shard_guards_panic_in_debug() {
+        let shard_a = RwLock::new(0u32);
+        let shard_b = RwLock::new(0u32);
+        let _a = rlock(&shard_a, Level::Shard);
+        let _b = rlock(&shard_b, Level::Shard);
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        should_panic(expected = "lock-order inversion: directory lock re-entered")
+    )]
+    fn directory_reentry_panics_in_debug() {
+        // Without the tracker this is a guaranteed deadlock on platforms
+        // where RwLock read-locks aren't re-entrant; the debug check turns
+        // it into a panic *before* blocking. Release builds skip the test
+        // body's second acquisition entirely.
+        let dir = RwLock::new(0u32);
+        let _d1 = rlock(&dir, Level::Directory);
+        if cfg!(debug_assertions) {
+            let _d2 = rlock(&dir, Level::Directory);
+        }
+    }
+}

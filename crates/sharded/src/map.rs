@@ -21,6 +21,7 @@
 //! with plain `&mut` access. No operation ever holds two shard locks, so
 //! there is no lock-ordering cycle anywhere in the crate.
 
+use crate::lock_order::{rlock, wlock, Level};
 use lll_api::persist::{Codec, ContainerKind, Header, SnapshotError};
 use lll_api::{LabelMap, ListBuilder, RawList};
 use lll_core::rng::derive_seed;
@@ -29,20 +30,7 @@ use std::fmt;
 use std::io::{Read, Write};
 use std::ops::{Bound, RangeBounds};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
-
-/// Shared-lock acquisition that survives a poisoned lock: the maps hold no
-/// invariant that a panicking reader could have broken mid-flight, and a
-/// panicking *writer* aborts the whole differential test run anyway — so
-/// recovery beats cascading poison panics across unrelated threads.
-fn rlock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
-    lock.read().unwrap_or_else(|e| e.into_inner())
-}
-
-/// Exclusive-lock counterpart of [`rlock`].
-fn wlock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
-    lock.write().unwrap_or_else(|e| e.into_inner())
-}
+use std::sync::RwLock;
 
 /// Lock-free access to a shard through an exclusive directory guard.
 fn shard_mut<K: Ord, V>(shard: &mut RwLock<LabelMap<K, V>>) -> &mut LabelMap<K, V> {
@@ -74,6 +62,7 @@ pub struct ShardPolicy {
 /// unbounded above). Always `shards.len() == bounds.len() + 1`.
 struct Directory<K: Ord, V> {
     bounds: Vec<K>,
+    // lock-order: shard
     shards: Vec<RwLock<LabelMap<K, V>>>,
 }
 
@@ -98,6 +87,7 @@ impl<K: Ord, V> Directory<K, V> {
 /// scoped threads). See the [crate docs](crate) for the locking protocol
 /// and `docs/sharding.md` for the operational runbook.
 pub struct ShardedMap<K: Ord + Clone, V> {
+    // lock-order: directory
     dir: RwLock<Directory<K, V>>,
     builder: ListBuilder,
     seed: u64,
@@ -247,8 +237,8 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
     /// Total entries — locks each shard briefly, O(#shards). The count is
     /// a consistent snapshot only if no writer is concurrent.
     pub fn len(&self) -> usize {
-        let dir = rlock(&self.dir);
-        dir.shards.iter().map(|s| rlock(s).len()).sum()
+        let dir = rlock(&self.dir, Level::Directory);
+        dir.shards.iter().map(|s| rlock(s, Level::Shard).len()).sum()
     }
 
     /// True if no entries are stored (same snapshot caveat as
@@ -259,7 +249,7 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
 
     /// Current number of shards.
     pub fn shard_count(&self) -> usize {
-        rlock(&self.dir).shards.len()
+        rlock(&self.dir, Level::Directory).shards.len()
     }
 
     /// Insert `key → value`, returning the previous value if the key was
@@ -268,9 +258,9 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
     /// lock, amortized O(shard) against the inserts that filled it).
     pub fn insert(&self, key: K, value: V) -> Option<V> {
         let (prev, overflow) = {
-            let dir = rlock(&self.dir);
+            let dir = rlock(&self.dir, Level::Directory);
             let idx = dir.locate(&key);
-            let mut shard = wlock(&dir.shards[idx]);
+            let mut shard = wlock(&dir.shards[idx], Level::Shard);
             let prev = shard.insert(key, value);
             // Only trigger maintenance when a split is actually feasible:
             // at the shard-count ceiling an oversized shard simply keeps
@@ -298,9 +288,9 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
         Q: Ord + ?Sized,
     {
         let (prev, underflow) = {
-            let dir = rlock(&self.dir);
+            let dir = rlock(&self.dir, Level::Directory);
             let idx = dir.locate(key);
-            let mut shard = wlock(&dir.shards[idx]);
+            let mut shard = wlock(&dir.shards[idx], Level::Shard);
             let prev = shard.remove(key);
             // Trigger only on the exact threshold crossing: a shard stuck
             // underfull because no neighbor merge fits must not pay (and
@@ -325,8 +315,8 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
         K: Borrow<Q>,
         Q: Ord + ?Sized,
     {
-        let dir = rlock(&self.dir);
-        let shard = rlock(&dir.shards[dir.locate(key)]);
+        let dir = rlock(&self.dir, Level::Directory);
+        let shard = rlock(&dir.shards[dir.locate(key)], Level::Shard);
         shard.get(key).map(f)
     }
 
@@ -349,8 +339,8 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
         K: Borrow<Q>,
         Q: Ord + ?Sized,
     {
-        let dir = rlock(&self.dir);
-        let mut shard = wlock(&dir.shards[dir.locate(key)]);
+        let dir = rlock(&self.dir, Level::Directory);
+        let mut shard = wlock(&dir.shards[dir.locate(key)], Level::Shard);
         shard.get_mut(key).map(f)
     }
 
@@ -360,8 +350,8 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
         K: Borrow<Q>,
         Q: Ord + ?Sized,
     {
-        let dir = rlock(&self.dir);
-        let shard = rlock(&dir.shards[dir.locate(key)]);
+        let dir = rlock(&self.dir, Level::Directory);
+        let shard = rlock(&dir.shards[dir.locate(key)], Level::Shard);
         shard.contains_key(key)
     }
 
@@ -370,9 +360,9 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
     where
         V: Clone,
     {
-        let dir = rlock(&self.dir);
+        let dir = rlock(&self.dir, Level::Directory);
         dir.shards.iter().find_map(|s| {
-            let shard = rlock(s);
+            let shard = rlock(s, Level::Shard);
             shard.first_key_value().map(|(k, v)| (k.clone(), v.clone()))
         })
     }
@@ -382,9 +372,9 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
     where
         V: Clone,
     {
-        let dir = rlock(&self.dir);
+        let dir = rlock(&self.dir, Level::Directory);
         dir.shards.iter().rev().find_map(|s| {
-            let shard = rlock(s);
+            let shard = rlock(s, Level::Shard);
             shard.last_key_value().map(|(k, v)| (k.clone(), v.clone()))
         })
     }
@@ -400,7 +390,7 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
         R: RangeBounds<Q>,
         V: Clone,
     {
-        let dir = rlock(&self.dir);
+        let dir = rlock(&self.dir, Level::Directory);
         if dir.shards.is_empty() {
             return Vec::new();
         }
@@ -414,7 +404,7 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
         };
         let mut out = Vec::new();
         for s in &dir.shards[lo..=hi] {
-            let shard = rlock(s);
+            let shard = rlock(s, Level::Shard);
             out.extend(
                 shard
                     .range((range.start_bound(), range.end_bound()))
@@ -436,9 +426,9 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
     /// Visit every entry ascending by key without cloning values, one
     /// shard lock at a time.
     pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
-        let dir = rlock(&self.dir);
+        let dir = rlock(&self.dir, Level::Directory);
         for s in &dir.shards {
-            let shard = rlock(s);
+            let shard = rlock(s, Level::Shard);
             for (k, v) in shard.iter() {
                 f(k, v);
             }
@@ -458,7 +448,7 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
         self.batched_entries.fetch_add(batch.len() as u64, Ordering::Relaxed);
         let mut overflow = false;
         {
-            let dir = rlock(&self.dir);
+            let dir = rlock(&self.dir, Level::Directory);
             // Peel per-shard chunks off the tail: bounds walked in reverse
             // so each split_off detaches exactly the last shard's share.
             let mut chunks = Vec::with_capacity(dir.shards.len());
@@ -472,7 +462,7 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
                 if chunk.is_empty() {
                     continue;
                 }
-                let mut shard = wlock(&dir.shards[i]);
+                let mut shard = wlock(&dir.shards[i], Level::Shard);
                 shard.extend_sorted(chunk);
                 overflow |= shard.len() > self.policy.max_shard_len;
             }
@@ -515,7 +505,7 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
         R: RangeBounds<Q>,
         V: Clone,
     {
-        let dir = rlock(&self.dir);
+        let dir = rlock(&self.dir, Level::Directory);
         if dir.shards.is_empty() {
             return (Vec::new(), false);
         }
@@ -529,7 +519,7 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
         };
         let mut out = Vec::new();
         for s in &dir.shards[lo..=hi] {
-            let shard = rlock(s);
+            let shard = rlock(s, Level::Shard);
             for (k, v) in shard.range((range.start_bound(), range.end_bound())) {
                 if out.len() == limit {
                     return (out, true);
@@ -543,7 +533,7 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
     /// Aggregate statistics — one pass over the shards (shared locks, one
     /// at a time).
     pub fn stats(&self) -> ShardedStats {
-        let dir = rlock(&self.dir);
+        let dir = rlock(&self.dir, Level::Directory);
         let mut stats = ShardedStats {
             shards: dir.shards.len(),
             len: 0,
@@ -556,7 +546,7 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
             shard_capacities: Vec::with_capacity(dir.shards.len()),
         };
         for s in &dir.shards {
-            let shard = rlock(s);
+            let shard = rlock(s, Level::Shard);
             stats.len += shard.len();
             stats.total_moves += shard.total_moves();
             stats.shard_lens.push(shard.len());
@@ -576,7 +566,7 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
     /// too big to merge (`> max/2 >= 2·min`), merges strictly reduce the
     /// shard count and never create a splittable shard (combined `<= max`).
     fn maintain(&self) {
-        let mut dir = wlock(&self.dir);
+        let mut dir = wlock(&self.dir, Level::Directory);
         loop {
             let n = dir.shards.len();
             if n < self.policy.max_shards {
@@ -664,7 +654,7 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
         K: Codec,
         V: Codec,
     {
-        let mut dir = wlock(&self.dir);
+        let mut dir = wlock(&self.dir, Level::Directory);
         let total: usize = dir.shards.iter_mut().map(|s| shard_mut(s).len()).sum();
         let mut cfg = self.builder.config();
         cfg.seed = self.seed;
@@ -776,14 +766,14 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
     /// more shard than split keys, every shard's keys inside its span and
     /// ascending. O(n); test/diagnostic use only.
     pub fn check_invariants(&self) {
-        let dir = rlock(&self.dir);
+        let dir = rlock(&self.dir, Level::Directory);
         assert_eq!(dir.shards.len(), dir.bounds.len() + 1, "directory shape");
         assert!(
             dir.bounds.windows(2).all(|w| w[0] < w[1]),
             "split keys must be strictly ascending"
         );
         for (i, s) in dir.shards.iter().enumerate() {
-            let shard = rlock(s);
+            let shard = rlock(s, Level::Shard);
             let keys: Vec<K> = shard.keys().cloned().collect();
             assert!(keys.windows(2).all(|w| w[0] < w[1]), "shard {i} keys unsorted");
             if let (Some(first), Some(lo)) =
@@ -800,8 +790,8 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
 
 impl<K: Ord + Clone + fmt::Debug, V> fmt::Debug for ShardedMap<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let dir = rlock(&self.dir);
-        let lens: Vec<usize> = dir.shards.iter().map(|s| rlock(s).len()).collect();
+        let dir = rlock(&self.dir, Level::Directory);
+        let lens: Vec<usize> = dir.shards.iter().map(|s| rlock(s, Level::Shard).len()).collect();
         f.debug_struct("ShardedMap").field("shards", &lens).field("bounds", &dir.bounds).finish()
     }
 }

@@ -6,6 +6,8 @@
 //! run (`cargo bench`) and print wall-clock means, but there is no
 //! statistical analysis, HTML report, or baseline comparison.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

@@ -15,6 +15,8 @@
 //! with its concrete inputs via a plain panic (cases are deterministic per
 //! test name and case index, so failures reproduce exactly).
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 pub mod prelude {

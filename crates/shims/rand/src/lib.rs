@@ -14,6 +14,8 @@
 //! *within* this workspace, not bit-compatible with crates.io `rand`), which
 //! is all the workspace relies on.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 pub mod rngs {

@@ -23,6 +23,8 @@
 //! * [`with_predictions`] — wraps an insert-only workload with an oracle
 //!   rank predictor of bounded error η (Corollary 12; E6).
 
+#![forbid(unsafe_code)]
+
 use lll_core::ops::Op;
 use lll_core::rng::rng_from_seed;
 use rand::Rng;

@@ -77,6 +77,8 @@
 //!   (Theorem 3 instantiations).
 //! * [`workloads`] — deterministic workload generators for every experiment.
 
+#![forbid(unsafe_code)]
+
 pub use lll_adaptive as adaptive;
 pub use lll_api as api;
 pub use lll_classic as classic;

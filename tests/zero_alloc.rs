@@ -1,0 +1,140 @@
+//! Runtime teeth for the zero-alloc steady-state insert path (PR 4): a
+//! counting global allocator pins the property "once warm, churn does not
+//! allocate" on [`LabelMap`] and [`OrderedList`], for both the classic and
+//! the deamortized backend.
+//!
+//! Methodology: structures allocate while *growing* (slot-array doubling,
+//! hash-table growth, rebalance scratch buffers reaching their high-water
+//! mark), so the harness runs fixed-size churn rounds and requires the
+//! rounds to *converge to zero* allocations — pure overwrites must be
+//! allocation-free immediately, and remove+insert churn must reach an
+//! allocation-free round once every internal buffer has seen its worst
+//! case. A regression that puts an allocation on the steady-state path
+//! (a `format!` in a hot assert, a scratch `Vec` rebuilt per call) makes
+//! every round allocate and fails the convergence assertions.
+//!
+//! Everything runs in ONE `#[test]` so no concurrent test thread can
+//! pollute the process-global counter.
+
+use lll_api::{Backend, ListBuilder};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Allocations observed process-wide (frees are not counted: the property
+/// under test is "no *new* memory on the steady-state path").
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: every method forwards the caller's layout verbatim to `System`
+// and returns its result unchanged, so `System`'s contract is this type's
+// contract; the count is a side effect on an atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same contract as `System::alloc`; counting is side-effect-only.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: the caller's layout, forwarded verbatim.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: same contract as `System::alloc_zeroed`.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: the caller's layout, forwarded verbatim.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    // SAFETY: same contract as `System::realloc` — a grow or shrink is new
+    // memory traffic, so it counts.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: pointer, layout, and size forwarded verbatim.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    // SAFETY: same contract as `System::dealloc`; frees are not counted.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: pointer and layout forwarded verbatim.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations performed by `f`.
+fn allocs_in<R>(f: impl FnOnce() -> R) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let r = f();
+    let after = ALLOCS.load(Ordering::Relaxed);
+    drop(r);
+    after - before
+}
+
+const N: u64 = 1024;
+const ROUNDS: u64 = 8;
+
+/// Run `round` repeatedly; require convergence to an allocation-free
+/// round within [`ROUNDS`] attempts. Returns the per-round history for
+/// the failure message.
+fn assert_converges_to_zero(what: &str, mut round: impl FnMut(u64)) {
+    let mut history = Vec::new();
+    for r in 0..ROUNDS {
+        let allocs = allocs_in(|| round(r));
+        history.push(allocs);
+        if allocs == 0 {
+            return;
+        }
+    }
+    panic!("{what}: no allocation-free round in {ROUNDS} (allocs per round: {history:?})");
+}
+
+fn label_map_churn(backend: Backend) {
+    let name = backend.name();
+    let mut map = ListBuilder::new().backend(backend).seed(11).label_map::<u64, u64>();
+    for k in 0..N {
+        map.insert(k, k);
+    }
+
+    // Overwrites never touch structure: zero allocations from round one.
+    let overwrite = allocs_in(|| {
+        for k in 0..N {
+            map.insert(k, k + 1);
+        }
+    });
+    assert_eq!(overwrite, 0, "{name} LabelMap: overwriting {N} present keys allocated");
+
+    // Fixed-size remove+insert churn must converge once the hash table
+    // and every rebalance scratch buffer reach their high-water marks.
+    assert_converges_to_zero(&format!("{name} LabelMap churn"), |r| {
+        for k in 0..N {
+            map.remove(&k);
+            map.insert(k, k ^ r);
+        }
+    });
+    assert_eq!(map.len(), N as usize);
+}
+
+fn ordered_list_churn(backend: Backend) {
+    let name = backend.name();
+    let mut list = ListBuilder::new().backend(backend).seed(13).ordered_list::<u64>();
+    let mut handles: Vec<_> = (0..N).map(|v| list.push_back(v)).collect();
+
+    // Fixed-size churn: retire one element, append a replacement, reusing
+    // the pre-sized handle slot — the list's length never changes.
+    assert_converges_to_zero(&format!("{name} OrderedList churn"), |r| {
+        for h in handles.iter_mut() {
+            list.remove(*h).expect("live handle");
+            *h = list.push_back(r);
+        }
+    });
+    assert_eq!(list.len(), N as usize);
+}
+
+#[test]
+fn steady_state_operations_reach_zero_allocations() {
+    for backend in [Backend::Classic, Backend::Deamortized] {
+        label_map_churn(backend);
+        ordered_list_churn(backend);
+    }
+}
