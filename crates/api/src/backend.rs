@@ -17,6 +17,7 @@ use lll_adaptive::AdaptiveBuilder;
 use lll_classic::ClassicBuilder;
 use lll_core::growable::{Growable, GrowableStats, Handle};
 use lll_core::ids::ElemId;
+use lll_core::metrics::{ListMetrics, MetricsHandle};
 use lll_core::report::{BulkReport, OpReport};
 use lll_core::rng::derive_seed;
 use lll_core::traits::{LabelingBuilder, ListLabeling};
@@ -149,6 +150,11 @@ pub trait RawList {
 
     /// Grow/shrink statistics.
     fn grow_stats(&self) -> GrowableStats;
+
+    /// The shared observability handle every layer of this backend reports
+    /// into: counters, move/rebalance histograms, and the structural trace
+    /// ring (see [`lll_core::metrics::ListMetrics`]).
+    fn metrics_handle(&self) -> MetricsHandle;
 }
 
 impl<B: LabelingBuilder> RawList for Growable<B> {
@@ -242,6 +248,10 @@ impl<B: LabelingBuilder> RawList for Growable<B> {
 
     fn grow_stats(&self) -> GrowableStats {
         Growable::stats(self)
+    }
+
+    fn metrics_handle(&self) -> MetricsHandle {
+        Growable::metrics(self).clone()
     }
 }
 
@@ -372,11 +382,18 @@ pub struct ListBuilder {
     seed: u64,
     initial_capacity: usize,
     eta: usize,
+    metrics: bool,
 }
 
 impl Default for ListBuilder {
     fn default() -> Self {
-        Self { backend: Backend::Corollary11, seed: 0x11, initial_capacity: 64, eta: 64 }
+        Self {
+            backend: Backend::Corollary11,
+            seed: 0x11,
+            initial_capacity: 64,
+            eta: 64,
+            metrics: true,
+        }
     }
 }
 
@@ -396,6 +413,7 @@ impl ListBuilder {
             seed: cfg.seed,
             initial_capacity: cfg.initial_capacity.max(1),
             eta: cfg.eta.max(1),
+            metrics: true,
         }
     }
 
@@ -436,6 +454,16 @@ impl ListBuilder {
         self
     }
 
+    /// Enable or disable metrics recording (default: enabled). With
+    /// `false` the built backend's [`ListMetrics`] handle is a no-op on
+    /// every recording path — the knob overhead benchmarks use to pin the
+    /// enabled/disabled gap. Not part of [`ListConfig`]: an operational
+    /// setting, not persisted state, so snapshot headers are unaffected.
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
+    }
+
     fn corollary12_scaled(
         &self,
     ) -> EmbedBuilder<
@@ -455,19 +483,29 @@ impl ListBuilder {
     /// [`LabelMap`](crate::LabelMap) sit on.
     pub fn build(&self) -> ErasedList {
         let cap = self.initial_capacity;
+        let m = || ListMetrics::handle(self.metrics);
         // Each arm's unsize coercion doubles as a compile-time proof that
         // every selectable backend is `Send + Sync` — a non-thread-safe
         // regression in any algorithm crate fails right here.
         let inner: Box<dyn RawList + Send + Sync> = match self.backend {
-            Backend::Classic => Box::new(Growable::new(ClassicBuilder, cap)),
-            Backend::Deamortized => Box::new(Growable::new(DeamortizedBuilder::default(), cap)),
-            Backend::Randomized => Box::new(Growable::new(
+            Backend::Classic => Box::new(Growable::with_metrics(ClassicBuilder, cap, m())),
+            Backend::Deamortized => {
+                Box::new(Growable::with_metrics(DeamortizedBuilder::default(), cap, m()))
+            }
+            Backend::Randomized => Box::new(Growable::with_metrics(
                 RandomizedBuilder::with_seed(derive_seed(self.seed, 0x59)),
                 cap,
+                m(),
             )),
-            Backend::Adaptive => Box::new(Growable::new(AdaptiveBuilder::default(), cap)),
-            Backend::Corollary11 => Box::new(Growable::new(corollary11_builder(self.seed), cap)),
-            Backend::Corollary12 => Box::new(Growable::new(self.corollary12_scaled(), cap)),
+            Backend::Adaptive => {
+                Box::new(Growable::with_metrics(AdaptiveBuilder::default(), cap, m()))
+            }
+            Backend::Corollary11 => {
+                Box::new(Growable::with_metrics(corollary11_builder(self.seed), cap, m()))
+            }
+            Backend::Corollary12 => {
+                Box::new(Growable::with_metrics(self.corollary12_scaled(), cap, m()))
+            }
         };
         ErasedList { inner, config: self.config() }
     }
@@ -477,7 +515,7 @@ impl ListBuilder {
     /// know `n` and want the theory-level interface (move logs, slot
     /// arrays, cost accounting) without naming a concrete type.
     pub fn build_fixed(&self, capacity: usize) -> Box<dyn ListLabeling + Send + Sync> {
-        match self.backend {
+        let mut built: Box<dyn ListLabeling + Send + Sync> = match self.backend {
             Backend::Classic => Box::new(ClassicBuilder.build_default(capacity)),
             Backend::Deamortized => Box::new(DeamortizedBuilder::default().build_default(capacity)),
             Backend::Randomized => Box::new(
@@ -488,7 +526,9 @@ impl ListBuilder {
                 Box::new(corollary11_builder(self.seed).build_default(capacity))
             }
             Backend::Corollary12 => Box::new(self.corollary12_scaled().build_default(capacity)),
-        }
+        };
+        built.set_metrics(ListMetrics::handle(self.metrics));
+        built
     }
 
     /// Statically dispatched escape hatch: wrap **any** algorithm builder
@@ -500,7 +540,7 @@ impl ListBuilder {
     /// [`OrderedList::with_backend`]: crate::OrderedList::with_backend
     /// [`LabelMap::with_backend`]: crate::LabelMap::with_backend
     pub fn build_growable<B: LabelingBuilder>(&self, builder: B) -> Growable<B> {
-        Growable::new(builder, self.initial_capacity)
+        Growable::with_metrics(builder, self.initial_capacity, ListMetrics::handle(self.metrics))
     }
 
     /// An [`OrderedList`](crate::OrderedList) on the configured backend.
@@ -635,6 +675,10 @@ impl RawList for ErasedList {
 
     fn grow_stats(&self) -> GrowableStats {
         self.inner.grow_stats()
+    }
+
+    fn metrics_handle(&self) -> MetricsHandle {
+        self.inner.metrics_handle()
     }
 }
 

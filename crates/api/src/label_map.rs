@@ -113,6 +113,13 @@ impl<K: Ord, V, L: RawList> LabelMap<K, V, L> {
         self.list.grow_stats()
     }
 
+    /// The backend's observability handle: counters, move/rebalance
+    /// histograms, and the structural trace ring (see
+    /// [`lll_core::metrics::ListMetrics`]).
+    pub fn metrics(&self) -> lll_core::metrics::MetricsHandle {
+        self.list.metrics_handle()
+    }
+
     fn pair_at_rank(&self, rank: usize) -> &(K, V) {
         &self.entry[&self.list.handle_at_rank(rank)]
     }

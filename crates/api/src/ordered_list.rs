@@ -98,6 +98,13 @@ impl<V, L: RawList> OrderedList<V, L> {
         self.list.grow_stats()
     }
 
+    /// The backend's observability handle: counters, move/rebalance
+    /// histograms, and the structural trace ring (see
+    /// [`lll_core::metrics::ListMetrics`]).
+    pub fn metrics(&self) -> lll_core::metrics::MetricsHandle {
+        self.list.metrics_handle()
+    }
+
     /// True if `h` refers to a live element.
     pub fn contains(&self, h: Handle) -> bool {
         self.value.contains_key(&h)

@@ -15,6 +15,12 @@
 //! * smoke (CI): `cargo bench -p lll-bench --bench core_ops -- --smoke`
 //!   — n = 2^14 everywhere, JSON to stdout only (a liveness check, not a
 //!   measurement).
+//! * overhead gate (CI):
+//!   `cargo bench -p lll-bench --bench core_ops -- --overhead-gate`
+//!   — runs *only* the metrics-overhead check: best-of-3 classic insert
+//!   runs with `ListMetrics` recording on vs off, exiting non-zero if the
+//!   instrumented run is more than 5% slower. This pins the "metrics are
+//!   cheap enough to leave on" claim from `docs/observability.md`.
 //!
 //! Reference point recorded before the bitmap slot-array landed (same
 //! machine class, release, classic backend, n = 2^20 random inserts):
@@ -85,7 +91,54 @@ fn bench_backend(backend: Backend, n: usize, seed: u64) -> Row {
     }
 }
 
+/// Wall-clock seconds for `n` random-rank classic inserts with metrics
+/// recording on or off (same seeds either way, so the work is identical).
+fn classic_insert_secs(n: usize, metrics: bool, salt: u64) -> f64 {
+    let mut s =
+        ListBuilder::new().seed(7).backend(Backend::Classic).metrics(metrics).build_fixed(n);
+    let mut rng = lll_core::rng::rng_from_seed(0xC0DE ^ salt);
+    let mut rep = lll_core::report::OpReport::default();
+    let t = Instant::now();
+    for len in 0..n {
+        let rank = rng.gen_range(0..=len);
+        s.insert_into(rank, &mut rep);
+        std::hint::black_box(rep.cost());
+    }
+    t.elapsed().as_secs_f64()
+}
+
+/// The metrics-overhead gate: best-of-`REPS` instrumented vs
+/// uninstrumented classic insert runs, interleaved so thermal drift hits
+/// both sides equally. True iff the overhead is within the budget.
+fn overhead_gate() -> bool {
+    const N: usize = 1 << 17;
+    const REPS: usize = 3;
+    const MAX_OVERHEAD: f64 = 0.05;
+    let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+    for salt in 0..REPS as u64 {
+        off = off.min(classic_insert_secs(N, false, salt));
+        on = on.min(classic_insert_secs(N, true, salt));
+    }
+    let overhead = on / off - 1.0;
+    eprintln!(
+        "overhead-gate: classic n={N}: metrics-off {:.1}ms, metrics-on {:.1}ms, \
+         overhead {:+.2}% (budget {:.0}%)",
+        off * 1e3,
+        on * 1e3,
+        overhead * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+    overhead <= MAX_OVERHEAD
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--overhead-gate") {
+        if !overhead_gate() {
+            eprintln!("overhead-gate: FAIL — metrics recording regressed the insert hot path");
+            std::process::exit(1);
+        }
+        return;
+    }
     let smoke = std::env::args().any(|a| a == "--smoke");
     let mut rows = Vec::new();
     for backend in Backend::ALL {

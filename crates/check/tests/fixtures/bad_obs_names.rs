@@ -1,0 +1,27 @@
+//! Known-bad fixture for the `obs-registered` rule: metric names must be
+//! snake_case string literals, each registered at one call site (labeled
+//! histogram families excepted).
+
+fn register_all(reg: &Registry, dynamic_name: &str, help: &str) {
+    reg.register_counter("llOpsTotal", "camelCase metric name");
+    reg.register_counter("lll_dup_total", "first registration");
+    reg.register_counter("lll_dup_total", "second registration");
+    reg.register_gauge(
+        dynamic_name,
+        help,
+    );
+    reg.register_histogram_labeled(
+        "lll_req_ns",
+        ("verb", "get"),
+        "labeled family",
+        1,
+        1 << 20,
+    );
+    reg.register_histogram_labeled(
+        "lll_req_ns",
+        ("verb", "put"),
+        "a labeled family may register from several sites",
+        1,
+        1 << 20,
+    );
+}

@@ -14,11 +14,11 @@
 //! are the inner structure's cheapest workload).
 
 use crate::ids::{ElemId, IdGen};
+use crate::metrics::{ListMetrics, MetricsHandle};
 use crate::ops::Op;
 use crate::report::{BulkReport, OpReport};
 use crate::traits::{LabelingBuilder, ListLabeling};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A stable, rebuild-surviving element handle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -53,17 +53,28 @@ pub struct Growable<B: LabelingBuilder> {
     /// ([`insert`](Self::insert)/[`delete`](Self::delete)): steady-state
     /// operations through them allocate nothing for move logging.
     scratch: OpReport,
-    /// Count of label→rank resolutions ([`Growable::rank_at_label`]) —
-    /// instrumentation for callers that promise label-native navigation
-    /// (the `lll-api` cursors) and want to prove they keep it.
-    rank_resolutions: AtomicU64,
+    /// Shared observability sink: counters (including label→rank
+    /// resolutions — instrumentation for callers that promise label-native
+    /// navigation, the `lll-api` cursors, and want to prove they keep it),
+    /// move/rebalance histograms, and the structural trace ring. Installed
+    /// into the inner structure (and re-installed across rebuilds) so every
+    /// layer reports into this one instance.
+    metrics: MetricsHandle,
 }
 
 impl<B: LabelingBuilder> Growable<B> {
     /// New empty list with an initial capacity floor.
     pub fn new(builder: B, initial_capacity: usize) -> Self {
+        Self::with_metrics(builder, initial_capacity, ListMetrics::handle(true))
+    }
+
+    /// [`new`](Self::new) with a caller-provided metrics handle — pass
+    /// `ListMetrics::handle(false)` to make every recording path a no-op
+    /// (overhead benchmarks pin the enabled/disabled gap via this knob).
+    pub fn with_metrics(builder: B, initial_capacity: usize, metrics: MetricsHandle) -> Self {
         let cap = initial_capacity.max(16);
-        let inner = builder.build_default(cap);
+        let mut inner = builder.build_default(cap);
+        inner.set_metrics(metrics.clone());
         Self {
             builder,
             inner,
@@ -74,8 +85,15 @@ impl<B: LabelingBuilder> Growable<B> {
             op_moves: 0,
             epoch: 0,
             scratch: OpReport::default(),
-            rank_resolutions: AtomicU64::new(0),
+            metrics,
         }
+    }
+
+    /// The metrics handle this structure (and its inner layers) report
+    /// into.
+    #[inline]
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.metrics
     }
 
     /// Current element count.
@@ -123,7 +141,7 @@ impl<B: LabelingBuilder> Growable<B> {
 
     /// The rank of the element whose label (slot position) is `label`.
     pub fn rank_at_label(&self, label: usize) -> usize {
-        self.rank_resolutions.fetch_add(1, Ordering::Relaxed);
+        self.metrics.note_rank_resolution();
         self.inner.slots().rank_at(label)
     }
 
@@ -133,7 +151,7 @@ impl<B: LabelingBuilder> Growable<B> {
     ///
     /// [`rank_at_label`]: Self::rank_at_label
     pub fn rank_resolutions(&self) -> u64 {
-        self.rank_resolutions.load(Ordering::Relaxed)
+        self.metrics.rank_resolutions.get()
     }
 
     /// The label (slot position) of the first element, if any.
@@ -248,13 +266,18 @@ impl<B: LabelingBuilder> Growable<B> {
     /// Both the growth/shrink rebuilds and the snapshot-restore path go
     /// through here, so their semantics cannot drift apart.
     fn rebuild_with_order(&mut self, new_capacity: usize, order: Vec<Handle>) {
+        let grew = new_capacity > self.capacity();
         let mut fresh = self.builder.build_default(new_capacity);
+        // Install the shared handle before the bulk splice so the rebuild's
+        // own moves are observed too.
+        fresh.set_metrics(self.metrics.clone());
         let bulk = fresh.splice(0, order.len());
         self.stats.rebuild_moves += bulk.cost();
         debug_assert_eq!(bulk.placed.len(), order.len(), "splice placed a wrong count");
         self.handle_of = bulk.placed.iter().copied().zip(order).collect();
         self.inner = fresh;
         self.epoch += 1;
+        self.metrics.note_epoch_bump(grew, new_capacity as u64, bulk.cost());
     }
 
     /// Insert a new element at `rank`, growing if necessary. The move log
@@ -293,6 +316,7 @@ impl<B: LabelingBuilder> Growable<B> {
         }
         self.inner.insert_into(rank, out);
         self.op_moves += out.cost();
+        self.metrics.note_op_moves(out.cost());
         let h = Handle(self.ids.fresh().0);
         self.handle_of.insert(out.placed.expect("insert places").0, h);
         h
@@ -324,6 +348,7 @@ impl<B: LabelingBuilder> Growable<B> {
         assert!(rank < self.len(), "delete rank {rank} >= len {}", self.len());
         self.inner.delete_into(rank, out);
         self.op_moves += out.cost();
+        self.metrics.note_op_moves(out.cost());
         let (gone, _) = out.removed.expect("delete removes");
         let h = self.handle_of.remove(&gone).expect("unknown element");
         if self.capacity() > self.min_capacity && self.len() * 4 <= self.capacity() {
@@ -369,6 +394,7 @@ impl<B: LabelingBuilder> Growable<B> {
         }
         let bulk = self.inner.splice(rank, count);
         self.op_moves += bulk.cost();
+        self.metrics.note_op_moves(bulk.cost());
         let handles: Vec<Handle> = bulk
             .placed
             .iter()

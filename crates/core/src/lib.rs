@@ -37,6 +37,7 @@ pub mod density;
 pub mod fenwick;
 pub mod growable;
 pub mod ids;
+pub mod metrics;
 pub mod ops;
 pub mod pma;
 #[cfg(test)]
@@ -54,6 +55,7 @@ pub mod prelude {
     pub use crate::fenwick::Fenwick;
     pub use crate::growable::{Growable, Handle};
     pub use crate::ids::ElemId;
+    pub use crate::metrics::{ListMetrics, MetricsHandle};
     pub use crate::ops::Op;
     pub use crate::pma::{PmaBase, RebalancePolicy};
     pub use crate::report::{BulkReport, MoveRec, OpReport};

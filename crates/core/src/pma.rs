@@ -165,6 +165,7 @@ impl<P: RebalancePolicy> PmaBase<P> {
         self.targets_scratch = targets;
         self.rebalances += 1;
         self.rebalance_moves += moved as u64;
+        self.slots.metrics().note_rebalance((b - a) as u64, moved as u64);
         self.policy.on_rebalance(level, (a, b));
     }
 
@@ -432,12 +433,18 @@ impl<P: RebalancePolicy> ListLabeling for PmaBase<P> {
         let moves = self.slots.drain_log();
         self.rebalances += 1;
         self.rebalance_moves += (moves.len() - placed.len()) as u64;
+        self.slots.metrics().note_splice(count as u64);
+        self.slots.metrics().note_rebalance((b - a) as u64, (moves.len() - placed.len()) as u64);
         self.policy.on_rebalance(level, (a, b));
         BulkReport { moves, placed: ids }
     }
 
     fn slots(&self) -> &SlotArray {
         &self.slots
+    }
+
+    fn set_metrics(&mut self, metrics: crate::metrics::MetricsHandle) {
+        self.slots.set_metrics(metrics);
     }
 
     fn name(&self) -> &'static str {

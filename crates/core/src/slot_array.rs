@@ -26,8 +26,9 @@
 use crate::bitmap::{Bitmap, CappedScan};
 use crate::fenwick::Fenwick;
 use crate::ids::ElemId;
+use crate::metrics::{ListMetrics, MetricsHandle};
 use crate::report::MoveRec;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Windows at most this wide answer [`SlotArray::occupied_in`] by bitmap
 /// popcount (≤ 32 words touched); wider windows use the Fenwick range,
@@ -51,17 +52,17 @@ pub struct SlotArray {
     /// Global rank/select index over the bitmap.
     occ: Fenwick,
     log: Vec<MoveRec>,
-    /// Total moves ever logged (survives log draining).
+    /// Total moves ever logged (survives log draining). Kept plain (not
+    /// behind the metrics handle) because it is the cost-model contract —
+    /// it always counts, even with metrics disabled.
     lifetime_moves: u64,
-    /// Drains served through [`drain_log_into`](Self::drain_log_into).
-    log_drains: u64,
-    /// Drains that reused the caller's buffer without reallocating.
-    log_reuses: u64,
-    /// Bitmap words examined by window scans (`iter_occupied*`, popcount
-    /// counts, free-slot scans) — the instrumentation that pins rebalance
-    /// work to O(window), not O(m). Atomic (relaxed) only so `&self`
-    /// iterators can record; this is not a synchronization point.
-    scan_words: AtomicU64,
+    /// Shared observability sink: moves, scan words (the instrumentation
+    /// that pins rebalance work to O(window), not O(m) — counters are
+    /// atomic/relaxed only so `&self` iterators can record), and log-sink
+    /// drain/reuse counts. Installed by the owning structure via
+    /// [`set_metrics`](Self::set_metrics) so every layer of a composed
+    /// structure reports into one instance.
+    metrics: MetricsHandle,
 }
 
 impl Clone for SlotArray {
@@ -72,9 +73,9 @@ impl Clone for SlotArray {
             occ: self.occ.clone(),
             log: self.log.clone(),
             lifetime_moves: self.lifetime_moves,
-            log_drains: self.log_drains,
-            log_reuses: self.log_reuses,
-            scan_words: AtomicU64::new(self.scan_words.load(Ordering::Relaxed)),
+            // Detach: the clone keeps the current readings but records
+            // independently from here on.
+            metrics: Arc::new(self.metrics.snapshot()),
         }
     }
 }
@@ -88,10 +89,21 @@ impl SlotArray {
             occ: Fenwick::new(m),
             log: Vec::new(),
             lifetime_moves: 0,
-            log_drains: 0,
-            log_reuses: 0,
-            scan_words: AtomicU64::new(0),
+            metrics: ListMetrics::handle(true),
         }
+    }
+
+    /// Install a shared metrics handle (replacing the private default), so
+    /// this array reports into the same instance as the structure wrapping
+    /// it. Existing readings on the old handle are not carried over.
+    pub fn set_metrics(&mut self, metrics: MetricsHandle) {
+        self.metrics = metrics;
+    }
+
+    /// The metrics handle this array reports into.
+    #[inline]
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.metrics
     }
 
     /// Number of slots.
@@ -141,13 +153,13 @@ impl SlotArray {
 
     #[inline]
     fn note_scan(&self, words: usize) {
-        self.scan_words.fetch_add(words as u64, Ordering::Relaxed);
+        self.metrics.note_scan(words as u64);
     }
 
     /// Bitmap words examined by window scans so far — the counter that
     /// regression tests pin to prove rebalance work is O(window).
     pub fn scan_words(&self) -> u64 {
-        self.scan_words.load(Ordering::Relaxed)
+        self.metrics.scan_words.get()
     }
 
     /// Number of occupied slots in `[a, b)`: bitmap popcount for word-local
@@ -242,6 +254,7 @@ impl SlotArray {
         self.occ.add(pos, 1);
         self.log.push(MoveRec { elem, from: pos as u32, to: pos as u32 });
         self.lifetime_moves += 1;
+        self.metrics.note_move();
     }
 
     /// Remove and return the element at `pos`. Cost 0 (removal is not a
@@ -301,6 +314,7 @@ impl SlotArray {
         self.occ.add(to, 1);
         self.log.push(MoveRec { elem, from: from as u32, to: to as u32 });
         self.lifetime_moves += 1;
+        self.metrics.note_move();
         elem
     }
 
@@ -312,10 +326,7 @@ impl SlotArray {
     /// those allocation-free drains.
     pub fn drain_log_into(&mut self, dst: &mut Vec<MoveRec>) {
         dst.clear();
-        self.log_drains += 1;
-        if dst.capacity() >= self.log.len() {
-            self.log_reuses += 1;
-        }
+        self.metrics.note_log_drain(dst.capacity() >= self.log.len());
         dst.extend_from_slice(&self.log);
         self.log.clear();
     }
@@ -333,7 +344,7 @@ impl SlotArray {
     /// Drains served by the move-log sink so far.
     #[inline]
     pub fn log_sink_drains(&self) -> u64 {
-        self.log_drains
+        self.metrics.log_sink_drains.get()
     }
 
     /// Drains that reused the destination buffer without reallocating —
@@ -341,7 +352,7 @@ impl SlotArray {
     /// (the property the allocation-free tests pin).
     #[inline]
     pub fn log_sink_reuses(&self) -> u64 {
-        self.log_reuses
+        self.metrics.log_sink_reuses.get()
     }
 
     /// Moves logged since the last drain, without draining.

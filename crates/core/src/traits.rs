@@ -13,6 +13,7 @@
 //! `(1+2ε)n`).
 
 use crate::ids::ElemId;
+use crate::metrics::MetricsHandle;
 use crate::ops::Op;
 use crate::report::{BulkReport, OpReport};
 use crate::slot_array::SlotArray;
@@ -107,6 +108,16 @@ pub trait ListLabeling {
     /// element, in the classical list-labeling formulation, is its position
     /// here.
     fn slots(&self) -> &SlotArray;
+
+    /// Install a shared [`MetricsHandle`]
+    /// into this structure and every layer inside it (its slot array(s),
+    /// and for composite structures — the embedding — both constituents),
+    /// so one handle observes the whole stack. The default ignores the
+    /// handle, which keeps the trait object-safe and lets minimal
+    /// implementations opt out; every PMA-skeleton backend overrides it.
+    fn set_metrics(&mut self, metrics: MetricsHandle) {
+        let _ = metrics;
+    }
 
     /// The label (slot position) of the element with the given rank.
     fn label_of_rank(&self, rank: usize) -> usize {

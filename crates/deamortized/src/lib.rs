@@ -718,6 +718,10 @@ impl ListLabeling for DeamortizedPma {
         &self.slots
     }
 
+    fn set_metrics(&mut self, metrics: lll_core::metrics::MetricsHandle) {
+        self.slots.set_metrics(metrics);
+    }
+
     fn name(&self) -> &'static str {
         "deamortized-pma"
     }

@@ -1057,6 +1057,15 @@ impl<F: ListLabeling, R: ListLabeling> ListLabeling for Embed<F, R> {
         &self.tags.contents
     }
 
+    fn set_metrics(&mut self, metrics: lll_core::metrics::MetricsHandle) {
+        // One handle observes the whole composition: the physical tag
+        // array plus both constituent structures (Theorem 3 nests another
+        // Embed here, so the install recurses through every layer).
+        self.tags.contents.set_metrics(metrics.clone());
+        self.sim.set_metrics(metrics.clone());
+        self.shell.set_metrics(metrics);
+    }
+
     fn name(&self) -> &'static str {
         "embed"
     }

@@ -349,6 +349,10 @@ impl<P: RankPredictor> ListLabeling for PredictedPma<P> {
         &self.slots
     }
 
+    fn set_metrics(&mut self, metrics: lll_core::metrics::MetricsHandle) {
+        self.slots.set_metrics(metrics);
+    }
+
     fn name(&self) -> &'static str {
         "predicted-pma"
     }

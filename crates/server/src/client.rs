@@ -3,7 +3,7 @@
 //! and thread-per-connection workloads.
 
 use crate::frame::WireError;
-use crate::proto::{HealthReply, Request, Response, StatsReply};
+use crate::proto::{HealthReply, MetricsReply, Request, Response, StatsReply, TraceReply};
 use std::io::{BufReader, BufWriter, Write as _};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -117,6 +117,24 @@ impl Client {
         match self.call(&Request::Stats)? {
             Response::Stats(s) => Ok(s),
             other => Err(Self::unexpected(&other, "Stats")),
+        }
+    }
+
+    /// Full observability dump: per-verb latency quantiles, per-shard
+    /// gauges, and the Prometheus text exposition.
+    pub fn metrics(&mut self) -> Result<MetricsReply, WireError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(m) => Ok(m),
+            other => Err(Self::unexpected(&other, "Metrics")),
+        }
+    }
+
+    /// Drain the server's structural-event trace ring (splits, merges,
+    /// snapshots, drains), oldest first.
+    pub fn trace(&mut self) -> Result<TraceReply, WireError> {
+        match self.call(&Request::Trace)? {
+            Response::Trace(t) => Ok(t),
+            other => Err(Self::unexpected(&other, "Trace")),
         }
     }
 

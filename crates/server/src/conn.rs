@@ -10,13 +10,18 @@
 //! server already started reading.
 
 use crate::frame::{read_frame, WireError};
-use crate::proto::{HealthReply, Request, Response, StatsReply};
+use crate::proto::{
+    HealthReply, MetricsReply, Request, Response, StatsReply, TraceEventWire, TraceReply,
+    VerbLatency, VERBS,
+};
 use crate::server::{KvMap, Shared};
+use lll_obs::{push_meta, push_sample, TraceKind};
 use std::fs::File;
 use std::io::{BufWriter, ErrorKind, Write as _};
 use std::net::TcpStream;
 use std::ops::Bound;
 use std::sync::atomic::Ordering;
+use std::time::Instant;
 
 /// Serve one connection to completion (peer close, protocol error, or
 /// drain boundary).
@@ -45,7 +50,10 @@ pub(crate) fn serve(stream: TcpStream, shared: &Shared) {
             }
         };
         shared.served_requests.fetch_add(1, Ordering::Relaxed);
+        let verb = request.verb_index();
+        let started = Instant::now();
         let (response, drain_after) = handle(request, shared);
+        shared.obs.verbs[verb].record(started.elapsed().as_nanos() as u64);
         if response.write_to(&mut writer).and_then(|()| Ok(writer.flush()?)).is_err() {
             break;
         }
@@ -143,8 +151,73 @@ fn handle(request: Request, shared: &Shared) -> (Response, bool) {
                     return (failed, false);
                 }
             }
+            shared.obs.trace.record(
+                TraceKind::Drain,
+                shared.served_requests.load(Ordering::Relaxed),
+                shared.active_conns.load(Ordering::SeqCst),
+                0,
+            );
             (Response::Ok, true)
         }
+        Request::Metrics => (Response::Metrics(metrics_reply(shared)), false),
+        Request::Trace => {
+            let events = shared
+                .obs
+                .trace
+                .snapshot()
+                .into_iter()
+                .map(|e| TraceEventWire { seq: e.seq, kind: e.kind as u64, a: e.a, b: e.b, c: e.c })
+                .collect();
+            (Response::Trace(TraceReply { events }), false)
+        }
+    }
+}
+
+/// Assemble the `Metrics` reply: per-verb latency quantiles from the
+/// server's histograms, per-shard gauges from the map, and one Prometheus
+/// text exposition covering both.
+fn metrics_reply(shared: &Shared) -> MetricsReply {
+    let stats = shared.map.stats();
+    let verbs = VERBS
+        .iter()
+        .zip(&shared.obs.verbs)
+        .map(|(name, h)| VerbLatency {
+            verb: (*name).to_string(),
+            count: h.count(),
+            p50_ns: h.p50(),
+            p95_ns: h.p95(),
+            p99_ns: h.p99(),
+            max_ns: h.max(),
+        })
+        .collect();
+    let mut text = shared.obs.render_prometheus();
+    push_meta(&mut text, "lll_shard_len", "gauge", "Entries per shard, in key order");
+    for (i, len) in stats.shard_lens.iter().enumerate() {
+        push_sample(&mut text, "lll_shard_len", &[("shard", &i.to_string())], *len as u64);
+    }
+    push_meta(&mut text, "lll_shard_reads_total", "counter", "Point reads served per shard");
+    for (i, reads) in stats.shard_reads.iter().enumerate() {
+        push_sample(&mut text, "lll_shard_reads_total", &[("shard", &i.to_string())], *reads);
+    }
+    push_meta(&mut text, "lll_shard_writes_total", "counter", "Point writes served per shard");
+    for (i, writes) in stats.shard_writes.iter().enumerate() {
+        push_sample(&mut text, "lll_shard_writes_total", &[("shard", &i.to_string())], *writes);
+    }
+    push_meta(&mut text, "lll_shard_splits_total", "counter", "Shard splits since construction");
+    push_sample(&mut text, "lll_shard_splits_total", &[], stats.splits);
+    push_meta(&mut text, "lll_shard_merges_total", "counter", "Shard merges since construction");
+    push_sample(&mut text, "lll_shard_merges_total", &[], stats.merges);
+    MetricsReply {
+        version: 1,
+        verbs,
+        shard_lens: stats.shard_lens.iter().map(|&l| l as u64).collect(),
+        shard_reads: stats.shard_reads,
+        shard_writes: stats.shard_writes,
+        splits: stats.splits,
+        merges: stats.merges,
+        lock_wait_nanos: stats.lock_wait_nanos,
+        lock_hold_nanos: stats.lock_hold_nanos,
+        text,
     }
 }
 

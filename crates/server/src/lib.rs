@@ -56,7 +56,10 @@ mod server;
 
 pub use client::Client;
 pub use frame::{WireError, MAX_FRAME_LEN, WIRE_MAGIC, WIRE_VERSION};
-pub use proto::{HealthReply, Request, Response, StatsReply};
+pub use proto::{
+    HealthReply, MetricsReply, Request, Response, StatsReply, TraceEventWire, TraceReply,
+    VerbLatency, VERBS,
+};
 pub use server::{KvMap, Server, ServerConfig, ServerHandle};
 
 // Compile-time thread-safety audit: the handle is held on one thread

@@ -1,7 +1,7 @@
 //! The verb vocabulary: typed [`Request`] / [`Response`] messages and
 //! their frame encodings.
 //!
-//! Requests carry opcodes `0x01..=0x0A`; responses carry `0x81..=0x88`
+//! Requests carry opcodes `0x01..=0x0C`; responses carry `0x81..=0x8A`
 //! (high bit set), so a stream position can never be misread as the other
 //! direction. Bodies are [`Codec`]-encoded; a
 //! frame whose body leaves trailing bytes after its message decodes is
@@ -63,7 +63,30 @@ pub enum Request {
         /// Server-side path for a final snapshot before draining.
         final_snapshot: Option<String>,
     },
+    /// Full observability dump: per-verb latency quantiles, per-shard
+    /// gauges, and the Prometheus text exposition.
+    Metrics,
+    /// Drain the map's structural-event trace ring (splits, merges,
+    /// snapshots, drains).
+    Trace,
 }
+
+/// Verb names in opcode order (`VERBS[opcode - 1]`) — the label vocabulary
+/// of the per-verb latency histograms and [`MetricsReply::verbs`].
+pub const VERBS: [&str; 12] = [
+    "health",
+    "stats",
+    "get",
+    "insert",
+    "remove",
+    "contains",
+    "range",
+    "batch_insert",
+    "snapshot",
+    "drain",
+    "metrics",
+    "trace",
+];
 
 /// A server→client message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -95,6 +118,10 @@ pub enum Response {
     /// The verb failed server-side; the connection stays usable unless
     /// the failure was a protocol violation.
     Error(String),
+    /// `Metrics` reply.
+    Metrics(MetricsReply),
+    /// `Trace` reply.
+    Trace(TraceReply),
 }
 
 /// Liveness + load snapshot (the `Health` verb).
@@ -130,6 +157,78 @@ pub struct StatsReply {
     pub total_moves: u64,
     /// Per-shard entry counts, in key order.
     pub shard_lens: Vec<u64>,
+}
+
+/// One verb's request-latency summary inside a [`MetricsReply`]:
+/// quantiles read from the server's log2-bucketed histogram (each is the
+/// bucket's inclusive upper bound, capped at the exact observed max).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VerbLatency {
+    /// The verb name (see [`VERBS`]).
+    pub verb: String,
+    /// Requests of this verb served.
+    pub count: u64,
+    /// Median request latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile request latency, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile request latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Largest request latency observed, nanoseconds (exact).
+    pub max_ns: u64,
+}
+
+/// The `Metrics` verb's reply: a versioned structured dump plus the same
+/// data as a Prometheus text exposition, so both programmatic consumers
+/// and scrapers are served by one verb.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsReply {
+    /// Schema version of this reply; bumped if fields change meaning.
+    pub version: u64,
+    /// Per-verb latency summaries, in [`VERBS`] order.
+    pub verbs: Vec<VerbLatency>,
+    /// Per-shard entry counts, in key order.
+    pub shard_lens: Vec<u64>,
+    /// Per-shard point reads served, in key order (monotone across
+    /// resharding — merges fold the retired shard into the survivor).
+    pub shard_reads: Vec<u64>,
+    /// Per-shard point writes served, in key order (same monotonicity).
+    pub shard_writes: Vec<u64>,
+    /// Shard splits since construction.
+    pub splits: u64,
+    /// Shard merges since construction.
+    pub merges: u64,
+    /// Nanoseconds point ops spent waiting on shard locks (timed in
+    /// debug-built servers only; zero in release).
+    pub lock_wait_nanos: u64,
+    /// Nanoseconds point ops held shard locks (debug-built servers only).
+    pub lock_hold_nanos: u64,
+    /// Prometheus text exposition of everything above.
+    pub text: String,
+}
+
+/// One structural event on the wire (see `lll_obs::TraceKind` for the
+/// kind vocabulary and per-kind payload layouts).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceEventWire {
+    /// Global record order, monotone over the ring's lifetime.
+    pub seq: u64,
+    /// The event kind as recorded (`lll_obs::TraceKind as u64`).
+    pub kind: u64,
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+    /// Third payload word.
+    pub c: u64,
+}
+
+/// The `Trace` verb's reply: the ring's current contents, oldest first.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceReply {
+    /// Recent structural events, ascending by `seq`. The ring is bounded:
+    /// older events may have been overwritten.
+    pub events: Vec<TraceEventWire>,
 }
 
 impl Codec for HealthReply {
@@ -176,6 +275,88 @@ impl Codec for StatsReply {
     }
 }
 
+impl Codec for VerbLatency {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), lll_api::SnapshotError> {
+        self.verb.encode(w)?;
+        self.count.encode(w)?;
+        self.p50_ns.encode(w)?;
+        self.p95_ns.encode(w)?;
+        self.p99_ns.encode(w)?;
+        self.max_ns.encode(w)
+    }
+
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, lll_api::SnapshotError> {
+        Ok(Self {
+            verb: String::decode(r)?,
+            count: u64::decode(r)?,
+            p50_ns: u64::decode(r)?,
+            p95_ns: u64::decode(r)?,
+            p99_ns: u64::decode(r)?,
+            max_ns: u64::decode(r)?,
+        })
+    }
+}
+
+impl Codec for MetricsReply {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), lll_api::SnapshotError> {
+        self.version.encode(w)?;
+        self.verbs.encode(w)?;
+        self.shard_lens.encode(w)?;
+        self.shard_reads.encode(w)?;
+        self.shard_writes.encode(w)?;
+        self.splits.encode(w)?;
+        self.merges.encode(w)?;
+        self.lock_wait_nanos.encode(w)?;
+        self.lock_hold_nanos.encode(w)?;
+        self.text.encode(w)
+    }
+
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, lll_api::SnapshotError> {
+        Ok(Self {
+            version: u64::decode(r)?,
+            verbs: Vec::<VerbLatency>::decode(r)?,
+            shard_lens: Vec::<u64>::decode(r)?,
+            shard_reads: Vec::<u64>::decode(r)?,
+            shard_writes: Vec::<u64>::decode(r)?,
+            splits: u64::decode(r)?,
+            merges: u64::decode(r)?,
+            lock_wait_nanos: u64::decode(r)?,
+            lock_hold_nanos: u64::decode(r)?,
+            text: String::decode(r)?,
+        })
+    }
+}
+
+impl Codec for TraceEventWire {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), lll_api::SnapshotError> {
+        self.seq.encode(w)?;
+        self.kind.encode(w)?;
+        self.a.encode(w)?;
+        self.b.encode(w)?;
+        self.c.encode(w)
+    }
+
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, lll_api::SnapshotError> {
+        Ok(Self {
+            seq: u64::decode(r)?,
+            kind: u64::decode(r)?,
+            a: u64::decode(r)?,
+            b: u64::decode(r)?,
+            c: u64::decode(r)?,
+        })
+    }
+}
+
+impl Codec for TraceReply {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), lll_api::SnapshotError> {
+        self.events.encode(w)
+    }
+
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, lll_api::SnapshotError> {
+        Ok(Self { events: Vec::<TraceEventWire>::decode(r)? })
+    }
+}
+
 /// Require the body reader to be fully consumed — a decoded message must
 /// account for every frame byte, or a bit flip could smuggle state.
 fn expect_drained(rest: &[u8], what: &str) -> Result<(), WireError> {
@@ -200,14 +381,22 @@ impl Request {
             Request::BatchInsert(_) => 0x08,
             Request::Snapshot { .. } => 0x09,
             Request::Drain { .. } => 0x0A,
+            Request::Metrics => 0x0B,
+            Request::Trace => 0x0C,
         }
+    }
+
+    /// This request's index into [`VERBS`] (and into the server's
+    /// per-verb latency histograms): opcodes are contiguous from `0x01`.
+    pub fn verb_index(&self) -> usize {
+        usize::from(self.opcode()) - 1
     }
 
     /// Encode and write this request as one frame (caller flushes).
     pub fn write_to<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), WireError> {
         let mut body = Vec::new();
         match self {
-            Request::Health | Request::Stats => {}
+            Request::Health | Request::Stats | Request::Metrics | Request::Trace => {}
             Request::Get(k) | Request::Remove(k) | Request::Contains(k) => {
                 encode_bytes(&mut body, k)?;
             }
@@ -259,6 +448,8 @@ impl Request {
             }
             0x09 => Request::Snapshot { path: String::decode(r)? },
             0x0A => Request::Drain { final_snapshot: Option::<String>::decode(r)? },
+            0x0B => Request::Metrics,
+            0x0C => Request::Trace,
             other => return Err(WireError::UnknownOpcode(other)),
         };
         expect_drained(r, "request")?;
@@ -283,6 +474,8 @@ impl Response {
             Response::Health(_) => 0x86,
             Response::Stats(_) => 0x87,
             Response::Error(_) => 0x88,
+            Response::Metrics(_) => 0x89,
+            Response::Trace(_) => 0x8A,
         }
     }
 
@@ -308,6 +501,8 @@ impl Response {
             Response::Health(h) => h.encode(&mut body)?,
             Response::Stats(s) => s.encode(&mut body)?,
             Response::Error(msg) => msg.encode(&mut body)?,
+            Response::Metrics(m) => m.encode(&mut body)?,
+            Response::Trace(t) => t.encode(&mut body)?,
         }
         write_frame(w, self.opcode(), &body)
     }
@@ -332,6 +527,8 @@ impl Response {
             0x86 => Response::Health(HealthReply::decode(r)?),
             0x87 => Response::Stats(StatsReply::decode(r)?),
             0x88 => Response::Error(String::decode(r)?),
+            0x89 => Response::Metrics(MetricsReply::decode(r)?),
+            0x8A => Response::Trace(TraceReply::decode(r)?),
             other => return Err(WireError::UnknownOpcode(other)),
         };
         expect_drained(r, "response")?;

@@ -25,6 +25,8 @@
 //! the current response is flushed.
 
 use crate::conn;
+use crate::proto::VERBS;
+use lll_obs::{Histogram, Registry, TraceRing};
 use lll_sharded::ShardedMap;
 use std::collections::VecDeque;
 use std::io::{self, BufWriter, Write as _};
@@ -68,6 +70,41 @@ impl Default for ServerConfig {
     }
 }
 
+/// The server's observability surface: one request-latency histogram per
+/// verb (registered under a shared Prometheus family name) plus a handle
+/// on the served map's structural-event trace ring. Registration happens
+/// once at startup; recording is lock-free from every worker.
+pub(crate) struct ServerObs {
+    registry: Registry,
+    /// `verbs[Request::verb_index()]` is that verb's latency histogram.
+    pub(crate) verbs: Vec<Arc<Histogram>>,
+    pub(crate) trace: Arc<TraceRing>,
+}
+
+impl ServerObs {
+    fn new(trace: Arc<TraceRing>) -> Self {
+        let mut registry = Registry::new();
+        let verbs = VERBS
+            .iter()
+            .map(|verb| {
+                registry.register_histogram_labeled(
+                    "lll_server_request_latency_ns",
+                    ("verb", verb),
+                    "Wall-clock request handling latency per verb, nanoseconds",
+                    1 << 10,
+                    1 << 30,
+                )
+            })
+            .collect();
+        Self { registry, verbs, trace }
+    }
+
+    /// The Prometheus text exposition of every registered server metric.
+    pub(crate) fn render_prometheus(&self) -> String {
+        self.registry.render_prometheus()
+    }
+}
+
 /// State shared by the accept loop, the workers, and the handle.
 pub(crate) struct Shared {
     pub(crate) map: Arc<KvMap>,
@@ -77,6 +114,7 @@ pub(crate) struct Shared {
     pub(crate) active_conns: AtomicU64,
     pub(crate) served_requests: AtomicU64,
     pub(crate) refused_conns: AtomicU64,
+    pub(crate) obs: ServerObs,
     queue: Mutex<VecDeque<TcpStream>>,
     queue_cv: Condvar,
 }
@@ -120,6 +158,7 @@ impl Server {
         let listener = TcpListener::bind(resolve(&cfg.addr)?)?;
         let addr = listener.local_addr()?;
         let workers = cfg.workers.max(1);
+        let obs = ServerObs::new(map.trace());
         let shared = Arc::new(Shared {
             map,
             cfg,
@@ -128,6 +167,7 @@ impl Server {
             active_conns: AtomicU64::new(0),
             served_requests: AtomicU64::new(0),
             refused_conns: AtomicU64::new(0),
+            obs,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
         });

@@ -20,6 +20,8 @@ fn all_requests() -> Vec<Request> {
         Request::Snapshot { path: "/tmp/snap.lll".to_string() },
         Request::Drain { final_snapshot: None },
         Request::Drain { final_snapshot: Some("éxodus.snap".to_string()) },
+        Request::Metrics,
+        Request::Trace,
     ]
 }
 
@@ -49,6 +51,33 @@ fn all_responses() -> Vec<Response> {
             shard_lens: vec![25, 25, 25, 25],
         }),
         Response::Error("bad day".to_string()),
+        Response::Metrics(lll_server::MetricsReply {
+            version: 1,
+            verbs: vec![lll_server::VerbLatency {
+                verb: "get".to_string(),
+                count: 42,
+                p50_ns: 2048,
+                p95_ns: 8192,
+                p99_ns: 16384,
+                max_ns: 13000,
+            }],
+            shard_lens: vec![10, 20],
+            shard_reads: vec![5, 9],
+            shard_writes: vec![30, 31],
+            splits: 1,
+            merges: 0,
+            lock_wait_nanos: 777,
+            lock_hold_nanos: 999,
+            text: "# TYPE lll_server_request_latency_ns histogram\n".to_string(),
+        }),
+        Response::Metrics(lll_server::MetricsReply::default()),
+        Response::Trace(lll_server::TraceReply {
+            events: vec![
+                lll_server::TraceEventWire { seq: 0, kind: 4, a: 0, b: 2, c: 64 },
+                lll_server::TraceEventWire { seq: 1, kind: 5, a: 0, b: 1, c: 12 },
+            ],
+        }),
+        Response::Trace(lll_server::TraceReply::default()),
     ]
 }
 

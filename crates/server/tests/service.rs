@@ -321,3 +321,87 @@ fn request_display_types_are_inspectable() {
     let req = Request::Get(b"k".to_vec());
     assert!(format!("{req:?}").contains("Get"));
 }
+
+#[test]
+fn metrics_verb_reports_latencies_shards_and_trace() {
+    let mut server = start(small_shards());
+    let mut c = Client::connect(server.local_addr()).unwrap();
+
+    // A known verb mix, with the insert round trips timed client-side so
+    // the server's reported latencies can be checked differentially.
+    let mut client_insert_max_ns = 0u128;
+    for i in 0..300u64 {
+        let (k, v) = kv(i);
+        let t = std::time::Instant::now();
+        c.insert(&k, &v).unwrap();
+        client_insert_max_ns = client_insert_max_ns.max(t.elapsed().as_nanos());
+    }
+    for i in 0..120u64 {
+        c.get(&kv(i).0).unwrap();
+    }
+    for i in 0..40u64 {
+        c.contains(&kv(i).0).unwrap();
+    }
+    c.remove(&kv(0).0).unwrap();
+
+    let m = c.metrics().unwrap();
+    assert_eq!(m.version, 1);
+
+    // Per-verb accounting matches exactly what this (sole) client sent,
+    // in VERBS order.
+    assert_eq!(
+        m.verbs.iter().map(|v| v.verb.as_str()).collect::<Vec<_>>(),
+        lll_server::VERBS.to_vec()
+    );
+    let verb = |name: &str| m.verbs.iter().find(|v| v.verb == name).unwrap();
+    assert_eq!(verb("insert").count, 300);
+    assert_eq!(verb("get").count, 120);
+    assert_eq!(verb("contains").count, 40);
+    assert_eq!(verb("remove").count, 1);
+    assert_eq!(verb("snapshot").count, 0, "verbs never sent stay zero");
+
+    // Quantiles are ordered, capped at the exact observed max, and the
+    // served verbs actually recorded samples.
+    for v in &m.verbs {
+        assert!(v.p50_ns <= v.p95_ns, "{}: p50 > p95", v.verb);
+        assert!(v.p95_ns <= v.p99_ns, "{}: p95 > p99", v.verb);
+        assert!(v.p99_ns <= v.max_ns || v.count == 0, "{}: p99 > max", v.verb);
+    }
+    assert!(verb("insert").max_ns > 0);
+
+    // Differential check: every server-side handling span nests inside
+    // one of the client round trips timed above.
+    assert!(
+        u128::from(verb("insert").max_ns) <= client_insert_max_ns,
+        "server-side insert max {} must sit inside the slowest client round trip {}",
+        verb("insert").max_ns,
+        client_insert_max_ns
+    );
+
+    // Per-shard gauges agree with the workload.
+    assert!(m.shard_lens.len() > 1, "300 keys over max 64 must shard");
+    assert_eq!(m.shard_lens.iter().sum::<u64>(), 299, "300 inserts - 1 remove");
+    assert_eq!(m.shard_reads.len(), m.shard_lens.len());
+    assert_eq!(m.shard_writes.len(), m.shard_lens.len());
+    assert_eq!(m.shard_reads.iter().sum::<u64>(), 160, "120 gets + 40 contains");
+    assert_eq!(m.shard_writes.iter().sum::<u64>(), 301, "300 inserts + 1 remove");
+    assert!(m.splits > 0);
+
+    // The same data is scrapable as a Prometheus text exposition.
+    assert!(m.text.contains("# TYPE lll_server_request_latency_ns histogram"), "{}", m.text);
+    assert!(m.text.contains("lll_server_request_latency_ns_count{verb=\"insert\"} 300"));
+    assert!(m.text.contains("lll_shard_len{shard=\"0\"}"));
+    assert!(m.text.contains("lll_shard_splits_total"));
+
+    // The trace verb drains the map's structural history: the splits the
+    // workload forced are there, in order.
+    let t = c.trace().unwrap();
+    assert!(
+        t.events.iter().any(|e| e.kind == lll_obs::TraceKind::Split as u64),
+        "splits must be traced: {:?}",
+        t.events
+    );
+    assert!(t.events.windows(2).all(|w| w[0].seq < w[1].seq), "events sorted by seq");
+
+    server.shutdown();
+}

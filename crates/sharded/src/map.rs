@@ -25,16 +25,74 @@ use crate::lock_order::{rlock, wlock, Level};
 use lll_api::persist::{Codec, ContainerKind, Header, SnapshotError};
 use lll_api::{LabelMap, ListBuilder, RawList};
 use lll_core::rng::derive_seed;
+use lll_obs::{Counter, TraceKind, TraceRing};
 use std::borrow::Borrow;
 use std::fmt;
 use std::io::{Read, Write};
 use std::ops::{Bound, RangeBounds};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 /// Lock-free access to a shard through an exclusive directory guard.
 fn shard_mut<K: Ord, V>(shard: &mut RwLock<LabelMap<K, V>>) -> &mut LabelMap<K, V> {
     shard.get_mut().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Events the per-map [`TraceRing`] holds before the oldest is overwritten.
+const TRACE_CAPACITY: usize = 256;
+
+/// A timestamp for shard-lock wait/hold accounting, taken only in debug
+/// builds: `Instant::now` is a syscall on some platforms, too expensive to
+/// pay twice per point op in release, where the counters simply read zero.
+#[inline]
+fn lock_clock() -> Option<Instant> {
+    cfg!(debug_assertions).then(Instant::now)
+}
+
+/// Per-shard operation counters, kept in the directory parallel to the
+/// shard vector (`obs[i]` observes `shards[i]`). The struct itself moves
+/// only under the exclusive directory lock; the counters inside are atomic
+/// so concurrent shared-lock holders bump them without coordination.
+#[derive(Default)]
+struct ShardObs {
+    /// Point reads served (`get_with` / `contains_key`).
+    reads: Counter,
+    /// Point writes served (`insert` / `remove` / `get_mut_with`).
+    writes: Counter,
+    /// Nanoseconds spent waiting to acquire the shard lock (debug builds
+    /// only — see [`lock_clock`]).
+    lock_wait_nanos: Counter,
+    /// Nanoseconds the shard lock was held by point ops (debug builds
+    /// only).
+    lock_hold_nanos: Counter,
+}
+
+impl ShardObs {
+    /// Fold `other`'s counts into `self` — run when a merge retires the
+    /// right shard, so per-shard counts stay monotone across resharding.
+    fn absorb(&self, other: &ShardObs) {
+        self.reads.add(other.reads.get());
+        self.writes.add(other.writes.get());
+        self.lock_wait_nanos.add(other.lock_wait_nanos.get());
+        self.lock_hold_nanos.add(other.lock_hold_nanos.get());
+    }
+
+    /// Charge a point op's lock timing: `t0` = before acquire, `t1` =
+    /// after acquire (both `None` in release builds), `hold` = how long
+    /// the guard was held.
+    fn note_lock_spans(&self, t0: Option<Instant>, t1: Option<Instant>) -> Option<Instant> {
+        if let (Some(t0), Some(t1)) = (t0, t1) {
+            self.lock_wait_nanos.add(t1.duration_since(t0).as_nanos() as u64);
+        }
+        t1
+    }
+
+    fn note_hold_since(&self, t1: Option<Instant>) {
+        if let Some(t1) = t1 {
+            self.lock_hold_nanos.add(t1.elapsed().as_nanos() as u64);
+        }
+    }
 }
 
 /// The size band shards are kept inside, plus the shard-count ceiling.
@@ -64,6 +122,10 @@ struct Directory<K: Ord, V> {
     bounds: Vec<K>,
     // lock-order: shard
     shards: Vec<RwLock<LabelMap<K, V>>>,
+    /// `obs[i]` observes `shards[i]`; resharding keeps the two vectors in
+    /// lockstep (splits insert a fresh entry, merges fold the retired
+    /// shard's counts into the survivor).
+    obs: Vec<ShardObs>,
 }
 
 impl<K: Ord, V> Directory<K, V> {
@@ -103,6 +165,9 @@ pub struct ShardedMap<K: Ord + Clone, V> {
     /// since retired — folded into [`stats`](Self::stats) so the cost
     /// accounting (the paper's move model) never loses history.
     retired_moves: AtomicU64,
+    /// Recent structural events (splits, merges, snapshots) — shared so a
+    /// server can drain the ring without holding a reference to the map.
+    trace: Arc<TraceRing>,
 }
 
 /// A point-in-time aggregate snapshot of a [`ShardedMap`] (see
@@ -132,6 +197,40 @@ pub struct ShardedStats {
     /// Per-shard backend capacities, in key order (`shard_lens[i] /
     /// shard_capacities[i]` is shard `i`'s occupancy).
     pub shard_capacities: Vec<usize>,
+    /// Per-shard point reads served (`get_with` / `contains_key`), in key
+    /// order. Merges fold the retired shard's count into the survivor, so
+    /// the total is monotone across resharding.
+    pub shard_reads: Vec<u64>,
+    /// Per-shard point writes served (`insert` / `remove` /
+    /// `get_mut_with`), in key order; monotone like
+    /// [`shard_reads`](Self::shard_reads).
+    pub shard_writes: Vec<u64>,
+    /// Total nanoseconds point ops spent waiting to acquire shard locks.
+    /// Timed in debug builds only (zero in release — the clock reads
+    /// would dominate the ops being measured).
+    pub lock_wait_nanos: u64,
+    /// Total nanoseconds point ops held shard locks (debug builds only).
+    pub lock_hold_nanos: u64,
+}
+
+impl ShardedStats {
+    /// The smallest shard's entry count.
+    pub fn min_shard_len(&self) -> usize {
+        self.shard_lens.iter().copied().min().unwrap_or(0)
+    }
+
+    /// The largest shard's entry count.
+    pub fn max_shard_len(&self) -> usize {
+        self.shard_lens.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean entries per shard.
+    pub fn mean_shard_len(&self) -> f64 {
+        if self.shards == 0 {
+            return 0.0;
+        }
+        self.len as f64 / self.shards as f64
+    }
 }
 
 impl fmt::Display for ShardedStats {
@@ -149,7 +248,7 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
     /// a constructor installs the real directory.
     fn shell(builder: ListBuilder, seed: u64, policy: ShardPolicy) -> Self {
         Self {
-            dir: RwLock::new(Directory { bounds: Vec::new(), shards: Vec::new() }),
+            dir: RwLock::new(Directory { bounds: Vec::new(), shards: Vec::new(), obs: Vec::new() }),
             builder,
             seed,
             policy,
@@ -159,6 +258,7 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
             batches: AtomicU64::new(0),
             batched_entries: AtomicU64::new(0),
             retired_moves: AtomicU64::new(0),
+            trace: Arc::new(TraceRing::new(TRACE_CAPACITY)),
         }
     }
 
@@ -168,7 +268,9 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
     pub(crate) fn new(builder: ListBuilder, seed: u64, policy: ShardPolicy) -> Self {
         let mut map = Self::shell(builder, seed, policy);
         let first = map.fresh_shard();
-        map.dir.get_mut().expect("fresh lock").shards.push(RwLock::new(first));
+        let dir = map.dir.get_mut().expect("fresh lock");
+        dir.shards.push(RwLock::new(first));
+        dir.obs.push(ShardObs::default());
         map
     }
 
@@ -219,6 +321,7 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
             shards.push(RwLock::new(shard));
         }
         let dir = map.dir.get_mut().expect("fresh lock");
+        dir.obs = (0..shards.len()).map(|_| ShardObs::default()).collect();
         dir.bounds = bounds;
         dir.shards = shards;
         map
@@ -260,18 +363,23 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
         let (prev, overflow) = {
             let dir = rlock(&self.dir, Level::Directory);
             let idx = dir.locate(&key);
+            let t0 = lock_clock();
             let mut shard = wlock(&dir.shards[idx], Level::Shard);
+            let t1 = dir.obs[idx].note_lock_spans(t0, lock_clock());
+            dir.obs[idx].writes.inc();
             let prev = shard.insert(key, value);
             // Only trigger maintenance when a split is actually feasible:
             // at the shard-count ceiling an oversized shard simply keeps
             // growing (documented degradation), and repeatedly taking the
             // exclusive directory lock for a no-op would stall every
             // writer.
-            (
+            let out = (
                 prev,
                 shard.len() > self.policy.max_shard_len
                     && dir.shards.len() < self.policy.max_shards,
-            )
+            );
+            dir.obs[idx].note_hold_since(t1);
+            out
         };
         if overflow {
             self.maintain();
@@ -290,7 +398,10 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
         let (prev, underflow) = {
             let dir = rlock(&self.dir, Level::Directory);
             let idx = dir.locate(key);
+            let t0 = lock_clock();
             let mut shard = wlock(&dir.shards[idx], Level::Shard);
+            let t1 = dir.obs[idx].note_lock_spans(t0, lock_clock());
+            dir.obs[idx].writes.inc();
             let prev = shard.remove(key);
             // Trigger only on the exact threshold crossing: a shard stuck
             // underfull because no neighbor merge fits must not pay (and
@@ -299,7 +410,9 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
             // crossing re-runs maintenance, which scans globally and finds
             // the pair.
             let crossed = prev.is_some() && shard.len() + 1 == self.policy.min_shard_len;
-            (prev, crossed && dir.shards.len() > 1)
+            let out = (prev, crossed && dir.shards.len() > 1);
+            dir.obs[idx].note_hold_since(t1);
+            out
         };
         if underflow {
             self.maintain();
@@ -316,8 +429,14 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
         Q: Ord + ?Sized,
     {
         let dir = rlock(&self.dir, Level::Directory);
-        let shard = rlock(&dir.shards[dir.locate(key)], Level::Shard);
-        shard.get(key).map(f)
+        let idx = dir.locate(key);
+        let t0 = lock_clock();
+        let shard = rlock(&dir.shards[idx], Level::Shard);
+        let t1 = dir.obs[idx].note_lock_spans(t0, lock_clock());
+        dir.obs[idx].reads.inc();
+        let out = shard.get(key).map(f);
+        dir.obs[idx].note_hold_since(t1);
+        out
     }
 
     /// The value of `key`, cloned out of the shard (the lock cannot outlive
@@ -340,8 +459,14 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
         Q: Ord + ?Sized,
     {
         let dir = rlock(&self.dir, Level::Directory);
-        let mut shard = wlock(&dir.shards[dir.locate(key)], Level::Shard);
-        shard.get_mut(key).map(f)
+        let idx = dir.locate(key);
+        let t0 = lock_clock();
+        let mut shard = wlock(&dir.shards[idx], Level::Shard);
+        let t1 = dir.obs[idx].note_lock_spans(t0, lock_clock());
+        dir.obs[idx].writes.inc();
+        let out = shard.get_mut(key).map(f);
+        dir.obs[idx].note_hold_since(t1);
+        out
     }
 
     /// True if `key` is present.
@@ -351,8 +476,14 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
         Q: Ord + ?Sized,
     {
         let dir = rlock(&self.dir, Level::Directory);
-        let shard = rlock(&dir.shards[dir.locate(key)], Level::Shard);
-        shard.contains_key(key)
+        let idx = dir.locate(key);
+        let t0 = lock_clock();
+        let shard = rlock(&dir.shards[idx], Level::Shard);
+        let t1 = dir.obs[idx].note_lock_spans(t0, lock_clock());
+        dir.obs[idx].reads.inc();
+        let out = shard.contains_key(key);
+        dir.obs[idx].note_hold_since(t1);
+        out
     }
 
     /// The smallest entry, cloned.
@@ -544,15 +675,30 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
             batched_entries: self.batched_entries.load(Ordering::Relaxed),
             shard_lens: Vec::with_capacity(dir.shards.len()),
             shard_capacities: Vec::with_capacity(dir.shards.len()),
+            shard_reads: Vec::with_capacity(dir.shards.len()),
+            shard_writes: Vec::with_capacity(dir.shards.len()),
+            lock_wait_nanos: 0,
+            lock_hold_nanos: 0,
         };
-        for s in &dir.shards {
+        for (s, obs) in dir.shards.iter().zip(&dir.obs) {
             let shard = rlock(s, Level::Shard);
             stats.len += shard.len();
             stats.total_moves += shard.total_moves();
             stats.shard_lens.push(shard.len());
             stats.shard_capacities.push(shard.backend().capacity());
+            stats.shard_reads.push(obs.reads.get());
+            stats.shard_writes.push(obs.writes.get());
+            stats.lock_wait_nanos += obs.lock_wait_nanos.get();
+            stats.lock_hold_nanos += obs.lock_hold_nanos.get();
         }
         stats
+    }
+
+    /// The map's structural-event trace ring (splits, merges, snapshots):
+    /// a shared handle, so a server can drain events without borrowing
+    /// the map. See [`TraceRing::snapshot`].
+    pub fn trace(&self) -> Arc<TraceRing> {
+        Arc::clone(&self.trace)
     }
 
     /// Rebalance the shard map until every shard is inside the policy band:
@@ -619,6 +765,7 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
         let old = std::mem::replace(slot, self.fresh_shard());
         self.retired_moves.fetch_add(old.total_moves(), Ordering::Relaxed);
         let mut lower = old.into_sorted_vec();
+        let entries = lower.len() as u64;
         let upper = lower.split_off(lower.len() / 2);
         debug_assert!(!upper.is_empty(), "split of a shard with < 2 entries");
         let split_key = upper[0].0.clone();
@@ -627,6 +774,8 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
         fresh.extend_sorted(upper);
         dir.bounds.insert(i, split_key);
         dir.shards.insert(i + 1, RwLock::new(fresh));
+        dir.obs.insert(i + 1, ShardObs::default());
+        self.trace.record(TraceKind::Split, i as u64, dir.shards.len() as u64, entries);
     }
 
     /// Merge shard `left + 1` into shard `left`: the right shard is drained
@@ -635,8 +784,13 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
         let right = dir.shards.remove(left + 1);
         let right = right.into_inner().unwrap_or_else(|e| e.into_inner());
         self.retired_moves.fetch_add(right.total_moves(), Ordering::Relaxed);
+        let right_obs = dir.obs.remove(left + 1);
+        dir.obs[left].absorb(&right_obs);
         dir.bounds.remove(left);
-        shard_mut(&mut dir.shards[left]).extend_sorted(right.into_sorted_vec());
+        let run = right.into_sorted_vec();
+        let merged = run.len() as u64;
+        shard_mut(&mut dir.shards[left]).extend_sorted(run);
+        self.trace.record(TraceKind::Merge, left as u64, dir.shards.len() as u64, merged);
     }
 
     /// Write a durable snapshot of the map: the versioned header (backend,
@@ -656,6 +810,7 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
     {
         let mut dir = wlock(&self.dir, Level::Directory);
         let total: usize = dir.shards.iter_mut().map(|s| shard_mut(s).len()).sum();
+        self.trace.record(TraceKind::Snapshot, total as u64, dir.shards.len() as u64, 0);
         let mut cfg = self.builder.config();
         cfg.seed = self.seed;
         Header::new(ContainerKind::ShardedMap, cfg, total as u64).write_to(w)?;
@@ -757,6 +912,7 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
             )));
         }
         let dir = map.dir.get_mut().expect("fresh lock");
+        dir.obs = (0..shards.len()).map(|_| ShardObs::default()).collect();
         dir.bounds = bounds;
         dir.shards = shards;
         Ok(map)
@@ -768,6 +924,7 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
     pub fn check_invariants(&self) {
         let dir = rlock(&self.dir, Level::Directory);
         assert_eq!(dir.shards.len(), dir.bounds.len() + 1, "directory shape");
+        assert_eq!(dir.shards.len(), dir.obs.len(), "observer vector out of lockstep");
         assert!(
             dir.bounds.windows(2).all(|w| w[0] < w[1]),
             "split keys must be strictly ascending"
@@ -1046,6 +1203,54 @@ mod tests {
         let (hits, truncated) = map.range_limited(.., 0);
         assert!(hits.is_empty());
         assert!(truncated, "limit 0 over a non-empty range is truncated");
+    }
+
+    #[test]
+    fn per_shard_observability_tracks_ops_and_resharding() {
+        let map = tiny().build::<u32, u32>();
+        for k in 0..200 {
+            map.insert(k, k);
+        }
+        for k in (0..200).step_by(2) {
+            map.get(&k);
+            map.contains_key(&k);
+        }
+        map.get_mut_with(&7, |v| *v += 1);
+        let grown = map.stats();
+        assert_eq!(grown.shard_reads.len(), grown.shards);
+        assert_eq!(grown.shard_writes.len(), grown.shards);
+        assert_eq!(grown.shard_reads.iter().sum::<u64>(), 200, "100 gets + 100 contains");
+        assert_eq!(grown.shard_writes.iter().sum::<u64>(), 201, "200 inserts + 1 get_mut");
+        // Debug builds time lock waits/holds; point ops must have charged
+        // a nonzero hold span somewhere.
+        if cfg!(debug_assertions) {
+            assert!(grown.lock_hold_nanos > 0, "debug builds time lock holds");
+        } else {
+            assert_eq!(grown.lock_hold_nanos, 0, "release builds skip the clock");
+        }
+        // Skew accessors bracket the mean.
+        assert!(grown.min_shard_len() as f64 <= grown.mean_shard_len());
+        assert!(grown.mean_shard_len() <= grown.max_shard_len() as f64);
+        // The trace ring saw every split, in order.
+        let events = map.trace().snapshot();
+        let splits = events.iter().filter(|e| e.kind == lll_obs::TraceKind::Split).count() as u64;
+        assert_eq!(splits, grown.splits, "one Split event per split");
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq), "events sorted by seq");
+        // Merges fold the retired shard's counts into the survivor: totals
+        // stay monotone across a full drain.
+        for k in 0..195 {
+            map.remove(&k);
+        }
+        let drained = map.stats();
+        assert!(drained.merges > 0, "drain must merge");
+        assert_eq!(
+            drained.shard_writes.iter().sum::<u64>(),
+            grown.shard_writes.iter().sum::<u64>() + 195,
+            "write counts survive merges"
+        );
+        assert_eq!(drained.shard_reads.iter().sum::<u64>(), 200, "read counts survive merges");
+        assert!(map.trace().snapshot().iter().any(|e| e.kind == lll_obs::TraceKind::Merge));
+        map.check_invariants();
     }
 
     #[test]

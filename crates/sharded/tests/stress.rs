@@ -26,6 +26,23 @@ use std::thread;
 
 const THREADS: u64 = 4;
 
+/// Dumps the map's structural-event trace if the surrounding test panics —
+/// the split/merge history is exactly the context a shard-count or
+/// divergence failure needs.
+struct TraceDump(std::sync::Arc<lll_obs::TraceRing>);
+
+impl Drop for TraceDump {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        eprintln!("--- structural trace ({} events recorded) ---", self.0.recorded());
+        for e in self.0.snapshot() {
+            eprintln!("  #{} {} a={} b={} c={}", e.seq, e.kind.name(), e.a, e.b, e.c);
+        }
+    }
+}
+
 fn differential_stress(backend: Backend) {
     let ops_per_thread: u64 = match backend {
         // The layered compositions carry real constant factors in debug
@@ -42,6 +59,7 @@ fn differential_stress(backend: Backend) {
             .min_shard_len(16)
             .build::<u64, u64>(),
     );
+    let _trace_guard = TraceDump(map.trace());
     let parts: Vec<BTreeMap<u64, u64>> = thread::scope(|s| {
         let handles: Vec<_> = (0..THREADS)
             .map(|tid| {
@@ -94,6 +112,34 @@ fn differential_stress(backend: Backend) {
     let stats = map.stats();
     assert!(stats.splits > 0, "{} run never split a shard", backend.name());
     assert!(stats.merges > 0, "{} run never merged a shard", backend.name());
+    // Maintenance keeps shards inside the policy band, so the skew between
+    // the fullest and emptiest shard is bounded: no shard may exceed the
+    // split threshold (feasible here — the run stays far below max_shards)
+    // and, with more than one shard, none may sit below a merge-proof
+    // remainder. The mean sits between the extremes by construction.
+    assert!(
+        stats.max_shard_len() <= 64,
+        "{}: shard of {} exceeds the split threshold",
+        backend.name(),
+        stats.max_shard_len()
+    );
+    if stats.shards > 1 {
+        assert!(
+            stats.min_shard_len() >= 1,
+            "{}: maintenance left an empty shard standing",
+            backend.name()
+        );
+    }
+    assert!(stats.min_shard_len() as f64 <= stats.mean_shard_len());
+    assert!(stats.mean_shard_len() <= stats.max_shard_len() as f64);
+    // Every striped writer touched every shard's key range: per-shard
+    // write counts must account for all 4 × ops_per_thread mutations.
+    assert_eq!(
+        stats.shard_writes.iter().sum::<u64>(),
+        THREADS * ops_per_thread,
+        "{}: write counts lost under concurrency",
+        backend.name()
+    );
 }
 
 #[test]
