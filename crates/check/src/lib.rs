@@ -17,17 +17,25 @@
 //!   `#[cfg(test)]` modules are exempt; individual lines escape with a
 //!   justified `allow(...)` directive.
 //! * **lock-order** — fields annotated with a `lock-order:` comment
-//!   (levels `directory` and `shard`) define the two-level protocol;
-//!   acquisition sites (`rlock(..)` / `wlock(..)` calls carrying a
-//!   `Level::` argument) are scanned lexically, and taking a shard lock
-//!   while another shard guard is live — or the directory lock under any
-//!   shard guard — is a finding, as is a raw `.read()` / `.write()` on an
+//!   (levels `maintenance`, `directory` (legacy), `shard`, and `rcu`)
+//!   declare the locking protocol; acquisition sites — `rlock(..)` /
+//!   `try_rlock(..)` / `wlock(..)` calls carrying a `Level::` argument,
+//!   `mlock(..)` (always maintenance), and `rcu_load(..)` (an RCU borrow)
+//!   — are scanned lexically with guard lifetimes simulated by brace
+//!   depth. Findings: a second shard lock without the maintenance lock
+//!   held, the maintenance lock under a shard guard or a live RCU borrow,
+//!   `rcu_publish(..)` while this thread still holds a shard guard or RCU
+//!   borrow (the grace wait would deadlock), the legacy directory-level
+//!   inversions, and any raw `.read()` / `.write()` / `.lock()` on an
 //!   annotated field (it would bypass the runtime tracker).
 //! * **unsafe-discipline** — every crate root must carry
 //!   `#![forbid(unsafe_code)]`; `unsafe` may appear only in the
-//!   [`UNSAFE_ALLOWED`] whitelist (reserved for the counting-allocator
-//!   harness and the future SIMD module), and every whitelisted site needs
-//!   a `// SAFETY:` comment on or just above the line.
+//!   [`UNSAFE_ALLOWED`] whitelist (the counting-allocator harness, the
+//!   RCU cell, and the future SIMD module), and every whitelisted site
+//!   needs a `// SAFETY:` comment on or just above the line. Crate roots
+//!   in [`UNSAFE_DENY_ROOTS`] host a whitelisted module and so carry
+//!   `#![deny(unsafe_code)]` instead — `forbid` cannot be re-allowed from
+//!   an inner module, `deny` can.
 //! * **no-alloc** — functions annotated with a `no-alloc` directive may
 //!   not call allocating constructors (`Vec::new`, `with_capacity`,
 //!   `collect`, `to_vec`, `format!`, `Box::new`, …).
@@ -71,11 +79,21 @@ pub const UNSAFE_ALLOWED: &[&str] = &[
     // The counting #[global_allocator] harness: GlobalAlloc is an unsafe
     // trait by definition; the impl forwards verbatim to System.
     "tests/zero_alloc.rs",
+    // The RCU cell publishing the shard directory: Arc::into_raw/from_raw
+    // behind striped borrow counters. The crate's only unsafe module.
+    "crates/sharded/src/rcu.rs",
     // Reserved for the planned core::arch popcount/SIMD sweeps (see
     // ROADMAP "Subsume the Fenwick"): that crate opts out of the forbid
     // but buys in to per-site SAFETY comments.
     "crates/simd/",
 ];
+
+/// Crate roots that host a whitelisted `unsafe` module. `forbid` is a
+/// one-way door — an inner `#![allow(unsafe_code)]` cannot reopen it — so
+/// these roots carry `#![deny(unsafe_code)]` instead: every *other* module
+/// stays unsafe-free at compile time, and only the whitelisted module opts
+/// back in (where this lint still demands per-site `// SAFETY:` comments).
+pub const UNSAFE_DENY_ROOTS: &[&str] = &["crates/sharded/src/lib.rs"];
 
 /// One finding: file, 1-based line, rule, and what was seen.
 #[derive(Clone, Debug)]
@@ -514,17 +532,22 @@ fn is_index_bracket(line: &str, j: usize) -> bool {
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum LockLevel {
+    Maintenance,
     Directory,
     Shard,
+    Rcu,
 }
 
-/// Rule 2: the directory→shard lock order. Active only in files that
-/// annotate at least one lock field with a `lock-order:` comment.
+/// Rule 2: the locking protocol around the sharded map. Active only in
+/// files that annotate at least one lock field with a `lock-order:`
+/// comment. Levels: `maintenance` (outermost mutex), `shard` (one
+/// rebalance domain's `RwLock`), `rcu` (the published directory — borrows
+/// via `rcu_load` nest freely but pin the grace period), and the legacy
+/// `directory` level kept for pre-RCU layouts.
 pub fn check_lock_order(sf: &SourceFile, diags: &mut Vec<Diagnostic>) {
     // Collect annotated field names: the annotation line's own code if it
     // has any, else the next non-blank code line, holds the field.
-    let mut dir_fields: Vec<String> = Vec::new();
-    let mut shard_fields: Vec<String> = Vec::new();
+    let mut fields: Vec<(String, LockLevel)> = Vec::new();
     for i in 0..sf.comments.len() {
         let Some(level) = sf.comments[i].trim().strip_prefix("lock-order:").map(str::trim) else {
             continue;
@@ -542,32 +565,41 @@ pub fn check_lock_order(sf: &SourceFile, diags: &mut Vec<Diagnostic>) {
                 rule: RULE_GRAMMAR,
                 msg: "lock-order annotation is not attached to a field".to_string(),
             }),
-            ("directory", Some(n)) => dir_fields.push(n),
-            ("shard", Some(n)) => shard_fields.push(n),
+            ("maintenance", Some(n)) => fields.push((n, LockLevel::Maintenance)),
+            ("directory", Some(n)) => fields.push((n, LockLevel::Directory)),
+            ("shard", Some(n)) => fields.push((n, LockLevel::Shard)),
+            ("rcu", Some(n)) => fields.push((n, LockLevel::Rcu)),
             (other, Some(_)) => diags.push(Diagnostic {
                 file: sf.path.clone(),
                 line: i + 1,
                 rule: RULE_GRAMMAR,
-                msg: format!("unknown lock-order level `{other}` (expected directory|shard)"),
+                msg: format!(
+                    "unknown lock-order level `{other}` (expected \
+                     maintenance|directory|shard|rcu)"
+                ),
             }),
         }
     }
-    if dir_fields.is_empty() && shard_fields.is_empty() {
+    if fields.is_empty() {
         return;
     }
 
     let classify = |text: &str| -> Option<LockLevel> {
-        if text.contains("Level::Shard") {
-            Some(LockLevel::Shard)
-        } else if text.contains("Level::Directory") {
-            Some(LockLevel::Directory)
-        } else if shard_fields.iter().any(|f| has_ident(text, f)) {
-            Some(LockLevel::Shard)
-        } else if dir_fields.iter().any(|f| has_ident(text, f)) {
-            Some(LockLevel::Directory)
-        } else {
-            None
+        for (token, level) in [
+            ("Level::Shard", LockLevel::Shard),
+            ("Level::Directory", LockLevel::Directory),
+            ("Level::Maintenance", LockLevel::Maintenance),
+        ] {
+            if text.contains(token) {
+                return Some(level);
+            }
         }
+        // Field-name fallback, most-nested level first, so a call naming
+        // both a shard field and its container (`dir.shards[0]`) reads as
+        // the shard acquisition it is.
+        [LockLevel::Shard, LockLevel::Rcu, LockLevel::Directory, LockLevel::Maintenance]
+            .into_iter()
+            .find(|&want| fields.iter().any(|(f, l)| *l == want && has_ident(text, f)))
     };
 
     let mut depth: i64 = 0;
@@ -575,51 +607,108 @@ pub fn check_lock_order(sf: &SourceFile, diags: &mut Vec<Diagnostic>) {
     for i in 0..sf.code.len() {
         let line = &sf.code[i];
 
-        // Raw acquisitions bypass the runtime tracker entirely.
-        if (line.contains(".read()") || line.contains(".write()"))
-            && dir_fields.iter().chain(&shard_fields).any(|f| has_ident(line, f))
-        {
+        // Raw acquisitions bypass the runtime tracker entirely. Only an
+        // annotated field as the *receiver* counts (`self.maint.lock()`,
+        // `dir.read()`) — a call further down a chain rooted at an
+        // annotated field (`dir.shards[i].write()`, where `write` is a
+        // tracked helper on the element) is a different receiver.
+        if ["read", "write", "lock"].iter().any(|m| {
+            line.match_indices(&format!(".{m}()")).any(|(at, _)| {
+                let recv = line[..at].trim_end();
+                fields.iter().any(|(f, _)| {
+                    recv.ends_with(f.as_str())
+                        && !recv[..recv.len() - f.len()]
+                            .ends_with(|c: char| c.is_alphanumeric() || c == '_')
+                })
+            })
+        }) {
             emit(
                 sf,
                 i,
                 RULE_LOCK_ORDER,
-                "raw .read()/.write() on an annotated lock field bypasses the order tracker; \
-                 acquire through rlock()/wlock()"
+                "raw .read()/.write()/.lock() on an annotated lock field bypasses the order \
+                 tracker; acquire through the rlock()/wlock()/mlock() wrappers"
                     .to_string(),
                 diags,
             );
         }
 
+        let live =
+            |guards: &[(LockLevel, i64)], lvl: LockLevel| guards.iter().any(|&(l, _)| l == lvl);
         let toks = idents(line);
         let has_let = toks.iter().any(|&(s, e)| &line[s..e] == "let");
         for &(s, e) in &toks {
             let tok = &line[s..e];
-            if (tok != "rlock" && tok != "wlock") || next_nonspace(line, e) != Some('(') {
+            if next_nonspace(line, e) != Some('(') {
                 continue;
             }
-            // The level argument may have been wrapped to the next line —
-            // but only consult the next line when this one can't classify,
-            // so a *different* acquisition below never bleeds in.
-            let level =
-                classify(&line[s..]).or_else(|| sf.code.get(i + 1).and_then(|nxt| classify(nxt)));
-            let Some(level) = level else {
-                emit(
-                    sf,
-                    i,
-                    RULE_LOCK_ORDER,
-                    format!("cannot classify `{tok}(..)` acquisition: pass an explicit Level::"),
-                    diags,
-                );
+            if tok == "rcu_publish" {
+                // Publication preconditions the runtime tracker enforces
+                // (maintenance-held is cross-function, so only the two
+                // same-scope deadlocks are checked lexically).
+                if live(&guards, LockLevel::Rcu) {
+                    emit(
+                        sf,
+                        i,
+                        RULE_LOCK_ORDER,
+                        "publishes a new directory while an RCU guard is live on this thread \
+                         (the grace wait would deadlock against its own borrow)"
+                            .to_string(),
+                        diags,
+                    );
+                }
+                if live(&guards, LockLevel::Shard) {
+                    emit(
+                        sf,
+                        i,
+                        RULE_LOCK_ORDER,
+                        "publishes a new directory while a shard guard is live (a fallback \
+                         reader pinning the old directory could deadlock the grace wait)"
+                            .to_string(),
+                        diags,
+                    );
+                }
                 continue;
+            }
+            let level = match tok {
+                "mlock" => Some(LockLevel::Maintenance),
+                "rcu_load" => Some(LockLevel::Rcu),
+                // The level argument may have been wrapped to the next
+                // line — but only consult the next line when this one
+                // can't classify, so a *different* acquisition below
+                // never bleeds in.
+                "rlock" | "wlock" | "try_rlock" => {
+                    let level = classify(&line[s..])
+                        .or_else(|| sf.code.get(i + 1).and_then(|nxt| classify(nxt)));
+                    let Some(level) = level else {
+                        emit(
+                            sf,
+                            i,
+                            RULE_LOCK_ORDER,
+                            format!(
+                                "cannot classify `{tok}(..)` acquisition: pass an explicit \
+                                 Level::"
+                            ),
+                            diags,
+                        );
+                        continue;
+                    };
+                    Some(level)
+                }
+                _ => None,
             };
-            let shard_live = guards.iter().any(|&(l, _)| l == LockLevel::Shard);
-            let dir_live = guards.iter().any(|&(l, _)| l == LockLevel::Directory);
+            let Some(level) = level else { continue };
+            let maint_live = live(&guards, LockLevel::Maintenance);
+            let shard_live = live(&guards, LockLevel::Shard);
+            let dir_live = live(&guards, LockLevel::Directory);
+            let rcu_live = live(&guards, LockLevel::Rcu);
             match level {
-                LockLevel::Shard if shard_live => emit(
+                LockLevel::Shard if shard_live && !maint_live => emit(
                     sf,
                     i,
                     RULE_LOCK_ORDER,
-                    "takes a shard lock while another shard guard is live (one shard at a time)"
+                    "takes a second shard lock without the maintenance lock (point ops hold \
+                     at most one shard; only maintenance stacks them)"
                         .to_string(),
                     diags,
                 ),
@@ -636,6 +725,31 @@ pub fn check_lock_order(sf: &SourceFile, diags: &mut Vec<Diagnostic>) {
                     i,
                     RULE_LOCK_ORDER,
                     "re-enters the directory lock (RwLock is not re-entrant)".to_string(),
+                    diags,
+                ),
+                LockLevel::Maintenance if shard_live => emit(
+                    sf,
+                    i,
+                    RULE_LOCK_ORDER,
+                    "takes the maintenance lock under a shard guard (order is maintenance → \
+                     shard)"
+                        .to_string(),
+                    diags,
+                ),
+                LockLevel::Maintenance if rcu_live => emit(
+                    sf,
+                    i,
+                    RULE_LOCK_ORDER,
+                    "takes the maintenance lock while an RCU guard pins the directory (a \
+                     publisher's grace wait would deadlock)"
+                        .to_string(),
+                    diags,
+                ),
+                LockLevel::Maintenance if maint_live => emit(
+                    sf,
+                    i,
+                    RULE_LOCK_ORDER,
+                    "re-enters the maintenance lock (Mutex is not re-entrant)".to_string(),
                     diags,
                 ),
                 _ => {}
@@ -676,20 +790,30 @@ pub struct FileConfig {
     pub crate_root: bool,
     /// May this file contain `unsafe` at all (see [`UNSAFE_ALLOWED`])?
     pub unsafe_allowed: bool,
+    /// Is this root allowed to use `#![deny(unsafe_code)]` instead of
+    /// `forbid` because the crate hosts a whitelisted `unsafe` module
+    /// (see [`UNSAFE_DENY_ROOTS`])?
+    pub deny_root: bool,
 }
 
-/// Rule 3: unsafe discipline — forbid at every crate root, whitelist +
-/// `// SAFETY:` comments elsewhere.
+/// Rule 3: unsafe discipline — forbid at every crate root (deny at the
+/// [`UNSAFE_DENY_ROOTS`]), whitelist + `// SAFETY:` comments elsewhere.
 pub fn check_unsafe(sf: &SourceFile, cfg: &FileConfig, diags: &mut Vec<Diagnostic>) {
     if cfg.crate_root && !cfg.unsafe_allowed {
-        let has_forbid =
-            sf.code.iter().any(|l| l.replace(' ', "").contains("#![forbid(unsafe_code)]"));
-        if !has_forbid {
+        let has = |attr: &str| sf.code.iter().any(|l| l.replace(' ', "").contains(attr));
+        let ok = if cfg.deny_root {
+            has("#![deny(unsafe_code)]") || has("#![forbid(unsafe_code)]")
+        } else {
+            has("#![forbid(unsafe_code)]")
+        };
+        if !ok {
+            let want =
+                if cfg.deny_root { "#![deny(unsafe_code)]" } else { "#![forbid(unsafe_code)]" };
             diags.push(Diagnostic {
                 file: sf.path.clone(),
                 line: 1,
                 rule: RULE_UNSAFE,
-                msg: "crate root is missing #![forbid(unsafe_code)]".to_string(),
+                msg: format!("crate root is missing {want}"),
             });
         }
     }
@@ -718,8 +842,28 @@ pub fn check_unsafe(sf: &SourceFile, cfg: &FileConfig, diags: &mut Vec<Diagnosti
     }
 }
 
+/// Does a `SAFETY:` comment cover `line` — trailing on the line itself, or
+/// anywhere in the contiguous comment run directly above it? (Multi-line
+/// safety arguments put the marker on their first line.)
 fn safety_comment_near(sf: &SourceFile, line: usize) -> bool {
-    (line.saturating_sub(3)..=line).any(|i| sf.comments[i].trim().starts_with("SAFETY:"))
+    if sf.comments[line].trim().starts_with("SAFETY:") {
+        return true;
+    }
+    let mut i = line;
+    while i > 0 {
+        i -= 1;
+        if !sf.code[i].trim().is_empty() {
+            return false; // a code line ends the comment run
+        }
+        let c = sf.comments[i].trim();
+        if c.is_empty() {
+            return false; // a fully blank line ends the comment run
+        }
+        if c.starts_with("SAFETY:") {
+            return true;
+        }
+    }
+    false
 }
 
 const ALLOC_METHODS: &[&str] = &["collect", "to_vec", "to_string", "to_owned", "with_capacity"];
@@ -800,8 +944,14 @@ pub fn check_no_alloc(sf: &SourceFile, diags: &mut Vec<Diagnostic>) {
 }
 
 /// Methods whose first string-literal argument is a metric name.
-const OBS_REGISTER_METHODS: &[&str] =
-    &["register_counter", "register_gauge", "register_histogram", "register_histogram_labeled"];
+const OBS_REGISTER_METHODS: &[&str] = &[
+    "register_counter",
+    "register_counter_shared",
+    "register_gauge",
+    "register_histogram",
+    "register_histogram_shared",
+    "register_histogram_labeled",
+];
 
 /// One metric-registration call site, for the cross-file uniqueness pass.
 #[derive(Clone, Debug)]
@@ -971,7 +1121,8 @@ pub fn config_for(rel: &str, sf: &SourceFile) -> FileConfig {
         || rel.ends_with("/src/main.rs")
         || rel.contains("/src/bin/")
         || sf.has_directive("assume(crate-root)");
-    FileConfig { crate_root, unsafe_allowed }
+    let deny_root = UNSAFE_DENY_ROOTS.contains(&rel);
+    FileConfig { crate_root, unsafe_allowed, deny_root }
 }
 
 /// Run every rule over one file's text.

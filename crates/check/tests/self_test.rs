@@ -43,6 +43,16 @@ fn flags_lock_order_violations() {
 }
 
 #[test]
+fn flags_rcu_lock_order_violations() {
+    let diags = run("bad_lock_order_rcu.rs");
+    // maintenance under shard, maintenance under a live RCU guard, second
+    // shard probe without maintenance, publish under the thread's own RCU
+    // guard, raw .lock() bypass — the two `fine_` fns must stay silent
+    assert_eq!(count(&diags, RULE_LOCK_ORDER), 5, "{diags:#?}");
+    assert_eq!(diags.len(), 5, "{diags:#?}");
+}
+
+#[test]
 fn flags_unsafe_violations() {
     let diags = run("bad_unsafe.rs");
     // missing #![forbid(unsafe_code)] + un-whitelisted unsafe block
@@ -108,6 +118,7 @@ fn cli_exits_nonzero_on_every_bad_fixture() {
     let bad = [
         "bad_panic_free.rs",
         "bad_lock_order.rs",
+        "bad_lock_order_rcu.rs",
         "bad_unsafe.rs",
         "bad_unsafe_whitelisted.rs",
         "bad_no_alloc.rs",

@@ -33,6 +33,11 @@ pub struct GrowableStats {
     pub shrinks: u64,
     /// Total element moves spent inside rebuilds.
     pub rebuild_moves: u64,
+    /// The rebuild epoch at the time of the snapshot (see
+    /// [`Growable::epoch`]): `grows + shrinks` counts rebuilds, the epoch
+    /// stamps *which* rebuild generation the stats describe — the same
+    /// stamp concurrency layers validate optimistic reads against.
+    pub epoch: u64,
 }
 
 /// A dynamically sized sorted list over any list-labeling algorithm.
@@ -111,9 +116,11 @@ impl<B: LabelingBuilder> Growable<B> {
         self.inner.capacity()
     }
 
-    /// Growth statistics.
+    /// Growth statistics, stamped with the current rebuild epoch.
     pub fn stats(&self) -> GrowableStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.epoch = self.epoch;
+        stats
     }
 
     /// The rebuild epoch. Labels returned before the epoch last changed are

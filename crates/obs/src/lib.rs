@@ -339,6 +339,20 @@ impl Registry {
         c
     }
 
+    /// Register (adopt) a counter that already exists elsewhere — e.g. a
+    /// data structure's internal instrument — so the exposition and the
+    /// structure read the same atomic. Same validation as
+    /// [`register_counter`](Self::register_counter).
+    pub fn register_counter_shared(
+        &mut self,
+        name: &str,
+        help: &str,
+        c: Arc<Counter>,
+    ) -> Arc<Counter> {
+        self.register(name, None, help, MetricRef::Counter(Arc::clone(&c)));
+        c
+    }
+
     /// Register a gauge.
     pub fn register_gauge(&mut self, name: &str, help: &str) -> Arc<Gauge> {
         let g = Arc::new(Gauge::new());
@@ -355,6 +369,19 @@ impl Registry {
         hi: u64,
     ) -> Arc<Histogram> {
         let h = Arc::new(Histogram::new(lo, hi));
+        self.register(name, None, help, MetricRef::Histogram(Arc::clone(&h)));
+        h
+    }
+
+    /// Register (adopt) an externally owned histogram, the
+    /// [`register_counter_shared`](Self::register_counter_shared)
+    /// counterpart.
+    pub fn register_histogram_shared(
+        &mut self,
+        name: &str,
+        help: &str,
+        h: Arc<Histogram>,
+    ) -> Arc<Histogram> {
         self.register(name, None, help, MetricRef::Histogram(Arc::clone(&h)));
         h
     }
@@ -762,6 +789,33 @@ mod tests {
         assert_eq!(text.matches("# TYPE lll_lat_ns histogram").count(), 1, "{text}");
         assert!(text.contains("verb=\"get\""), "{text}");
         assert!(text.contains("verb=\"insert\""), "{text}");
+    }
+
+    #[test]
+    fn registry_adopts_shared_instruments() {
+        // A structure owns its counters; the registry adopts the same Arcs
+        // so the exposition and the structure can never disagree.
+        let owned_c = Arc::new(Counter::new());
+        let owned_h = Arc::new(Histogram::new(1, 64));
+        owned_c.add(7);
+        owned_h.record(3);
+        let mut reg = Registry::new();
+        let c = reg.register_counter_shared("lll_shared_hits_total", "hits", Arc::clone(&owned_c));
+        reg.register_histogram_shared("lll_shared_retries", "retries", Arc::clone(&owned_h));
+        assert!(Arc::ptr_eq(&c, &owned_c), "adoption must not clone the metric");
+        owned_c.inc();
+        let text = reg.render_prometheus();
+        assert!(text.contains("lll_shared_hits_total 8"), "{text}");
+        assert!(text.contains("lll_shared_retries_count 1"), "{text}");
+        assert!(text.contains("# TYPE lll_shared_retries histogram"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn registry_rejects_duplicate_shared_adoption() {
+        let mut reg = Registry::new();
+        reg.register_counter("lll_adopted_total", "first");
+        reg.register_counter_shared("lll_adopted_total", "second", Arc::new(Counter::new()));
     }
 
     #[test]

@@ -114,6 +114,9 @@ fn handle(request: Request, shared: &Shared) -> (Response, bool) {
                     batches: s.batches,
                     batched_entries: s.batched_entries,
                     total_moves: s.total_moves,
+                    read_optimistic_hits: s.read_optimistic_hits,
+                    read_retries: s.read_retries,
+                    read_lock_fallbacks: s.read_lock_fallbacks,
                     shard_lens: s.shard_lens.iter().map(|&l| l as u64).collect(),
                 }),
                 false,
@@ -208,7 +211,10 @@ fn metrics_reply(shared: &Shared) -> MetricsReply {
     push_meta(&mut text, "lll_shard_merges_total", "counter", "Shard merges since construction");
     push_sample(&mut text, "lll_shard_merges_total", &[], stats.merges);
     MetricsReply {
-        version: 1,
+        // Version 2: the optimistic-read-path counters joined the reply
+        // (and the registry exposition, via the shared instruments the
+        // server adopts from the map at startup).
+        version: 2,
         verbs,
         shard_lens: stats.shard_lens.iter().map(|&l| l as u64).collect(),
         shard_reads: stats.shard_reads,
@@ -217,6 +223,9 @@ fn metrics_reply(shared: &Shared) -> MetricsReply {
         merges: stats.merges,
         lock_wait_nanos: stats.lock_wait_nanos,
         lock_hold_nanos: stats.lock_hold_nanos,
+        read_optimistic_hits: stats.read_optimistic_hits,
+        read_retries: stats.read_retries,
+        read_lock_fallbacks: stats.read_lock_fallbacks,
         text,
     }
 }

@@ -155,6 +155,15 @@ pub struct StatsReply {
     /// Total element moves across shard backends (the paper's cost
     /// measure), monotone over the map's lifetime.
     pub total_moves: u64,
+    /// Point reads answered on the lock-free optimistic path (epoch
+    /// validated, no blocking shard-lock acquisition).
+    pub read_optimistic_hits: u64,
+    /// Optimistic read attempts that had to retry (writer active or probe
+    /// contended) before hitting or falling back.
+    pub read_retries: u64,
+    /// Reads that exhausted the retry budget and took a blocking shard
+    /// read lock.
+    pub read_lock_fallbacks: u64,
     /// Per-shard entry counts, in key order.
     pub shard_lens: Vec<u64>,
 }
@@ -203,6 +212,13 @@ pub struct MetricsReply {
     pub lock_wait_nanos: u64,
     /// Nanoseconds point ops held shard locks (debug-built servers only).
     pub lock_hold_nanos: u64,
+    /// Point reads answered on the lock-free optimistic path (since
+    /// version 2).
+    pub read_optimistic_hits: u64,
+    /// Optimistic read retry attempts (since version 2).
+    pub read_retries: u64,
+    /// Reads that fell back to a blocking shard lock (since version 2).
+    pub read_lock_fallbacks: u64,
     /// Prometheus text exposition of everything above.
     pub text: String,
 }
@@ -258,6 +274,9 @@ impl Codec for StatsReply {
         self.batches.encode(w)?;
         self.batched_entries.encode(w)?;
         self.total_moves.encode(w)?;
+        self.read_optimistic_hits.encode(w)?;
+        self.read_retries.encode(w)?;
+        self.read_lock_fallbacks.encode(w)?;
         self.shard_lens.encode(w)
     }
 
@@ -270,6 +289,9 @@ impl Codec for StatsReply {
             batches: u64::decode(r)?,
             batched_entries: u64::decode(r)?,
             total_moves: u64::decode(r)?,
+            read_optimistic_hits: u64::decode(r)?,
+            read_retries: u64::decode(r)?,
+            read_lock_fallbacks: u64::decode(r)?,
             shard_lens: Vec::<u64>::decode(r)?,
         })
     }
@@ -308,6 +330,9 @@ impl Codec for MetricsReply {
         self.merges.encode(w)?;
         self.lock_wait_nanos.encode(w)?;
         self.lock_hold_nanos.encode(w)?;
+        self.read_optimistic_hits.encode(w)?;
+        self.read_retries.encode(w)?;
+        self.read_lock_fallbacks.encode(w)?;
         self.text.encode(w)
     }
 
@@ -322,6 +347,9 @@ impl Codec for MetricsReply {
             merges: u64::decode(r)?,
             lock_wait_nanos: u64::decode(r)?,
             lock_hold_nanos: u64::decode(r)?,
+            read_optimistic_hits: u64::decode(r)?,
+            read_retries: u64::decode(r)?,
+            read_lock_fallbacks: u64::decode(r)?,
             text: String::decode(r)?,
         })
     }

@@ -71,9 +71,11 @@ impl Default for ServerConfig {
 }
 
 /// The server's observability surface: one request-latency histogram per
-/// verb (registered under a shared Prometheus family name) plus a handle
-/// on the served map's structural-event trace ring. Registration happens
-/// once at startup; recording is lock-free from every worker.
+/// verb (registered under a shared Prometheus family name), the served
+/// map's optimistic-read-path instruments adopted into the same registry
+/// (so one exposition covers server and map), and a handle on the map's
+/// structural-event trace ring. Registration happens once at startup;
+/// recording is lock-free from every worker.
 pub(crate) struct ServerObs {
     registry: Registry,
     /// `verbs[Request::verb_index()]` is that verb's latency histogram.
@@ -82,7 +84,7 @@ pub(crate) struct ServerObs {
 }
 
 impl ServerObs {
-    fn new(trace: Arc<TraceRing>) -> Self {
+    fn new(map: &KvMap) -> Self {
         let mut registry = Registry::new();
         let verbs = VERBS
             .iter()
@@ -96,7 +98,31 @@ impl ServerObs {
                 )
             })
             .collect();
-        Self { registry, verbs, trace }
+        // Adopt the map's live read-path instruments: the map keeps
+        // recording into the same atomics it always did, and the registry
+        // exposes them without a second counting site.
+        let rp = map.read_path_metrics();
+        registry.register_counter_shared(
+            "lll_read_optimistic_hits_total",
+            "Point reads answered on the lock-free optimistic path",
+            rp.optimistic_hits,
+        );
+        registry.register_counter_shared(
+            "lll_read_retries_total",
+            "Optimistic read retry attempts before a hit or fallback",
+            rp.retries,
+        );
+        registry.register_counter_shared(
+            "lll_read_lock_fallbacks_total",
+            "Reads that exhausted the retry budget and took the shard lock",
+            rp.lock_fallbacks,
+        );
+        registry.register_histogram_shared(
+            "lll_read_retry_attempts",
+            "Retry attempts per contended optimistic read",
+            rp.retry_histogram,
+        );
+        Self { registry, verbs, trace: map.trace() }
     }
 
     /// The Prometheus text exposition of every registered server metric.
@@ -158,7 +184,7 @@ impl Server {
         let listener = TcpListener::bind(resolve(&cfg.addr)?)?;
         let addr = listener.local_addr()?;
         let workers = cfg.workers.max(1);
-        let obs = ServerObs::new(map.trace());
+        let obs = ServerObs::new(&map);
         let shared = Arc::new(Shared {
             map,
             cfg,

@@ -48,11 +48,14 @@ fn all_responses() -> Vec<Response> {
             batches: 2,
             batched_entries: 64,
             total_moves: 4096,
+            read_optimistic_hits: 500,
+            read_retries: 17,
+            read_lock_fallbacks: 2,
             shard_lens: vec![25, 25, 25, 25],
         }),
         Response::Error("bad day".to_string()),
         Response::Metrics(lll_server::MetricsReply {
-            version: 1,
+            version: 2,
             verbs: vec![lll_server::VerbLatency {
                 verb: "get".to_string(),
                 count: 42,
@@ -68,6 +71,9 @@ fn all_responses() -> Vec<Response> {
             merges: 0,
             lock_wait_nanos: 777,
             lock_hold_nanos: 999,
+            read_optimistic_hits: 12000,
+            read_retries: 64,
+            read_lock_fallbacks: 3,
             text: "# TYPE lll_server_request_latency_ns histogram\n".to_string(),
         }),
         Response::Metrics(lll_server::MetricsReply::default()),

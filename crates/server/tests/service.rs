@@ -68,6 +68,8 @@ fn all_verbs_roundtrip_over_a_real_socket() {
     assert!(stats.batches >= 1, "batch_insert must ride the bulk path");
     assert_eq!(stats.batched_entries, 300);
     assert!(stats.splits > 0);
+    assert!(stats.read_optimistic_hits > 0, "point reads ride the lock-free path");
+    assert_eq!(stats.read_lock_fallbacks, 0, "a sequential client never contends");
 
     server.shutdown();
 }
@@ -345,7 +347,7 @@ fn metrics_verb_reports_latencies_shards_and_trace() {
     c.remove(&kv(0).0).unwrap();
 
     let m = c.metrics().unwrap();
-    assert_eq!(m.version, 1);
+    assert_eq!(m.version, 2);
 
     // Per-verb accounting matches exactly what this (sole) client sent,
     // in VERBS order.
@@ -387,11 +389,23 @@ fn metrics_verb_reports_latencies_shards_and_trace() {
     assert_eq!(m.shard_writes.iter().sum::<u64>(), 301, "300 inserts + 1 remove");
     assert!(m.splits > 0);
 
-    // The same data is scrapable as a Prometheus text exposition.
+    // The optimistic read path served every point read: this client is the
+    // only writer and it is sequential, so no read ever raced a writer.
+    assert_eq!(m.read_optimistic_hits, 160, "every get/contains hits the lock-free path");
+    assert_eq!(m.read_retries, 0, "no concurrent writer, so no retries");
+    assert_eq!(m.read_lock_fallbacks, 0, "no read should have taken the blocking lock");
+
+    // The same data is scrapable as a Prometheus text exposition — the
+    // map's adopted read-path instruments included.
     assert!(m.text.contains("# TYPE lll_server_request_latency_ns histogram"), "{}", m.text);
     assert!(m.text.contains("lll_server_request_latency_ns_count{verb=\"insert\"} 300"));
     assert!(m.text.contains("lll_shard_len{shard=\"0\"}"));
     assert!(m.text.contains("lll_shard_splits_total"));
+    // (The hits value is not pinned: assembling the reply itself lands one
+    // optimistic hit per shard, so the exposition runs ahead of the wire
+    // field captured a few reads earlier.)
+    assert!(m.text.contains("# TYPE lll_read_optimistic_hits_total counter"), "{}", m.text);
+    assert!(m.text.contains("lll_read_lock_fallbacks_total 0"), "{}", m.text);
 
     // The trace verb drains the map's structural history: the splits the
     // workload forced are there, in order.

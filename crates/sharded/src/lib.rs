@@ -5,24 +5,31 @@
 //! that rebalance cost low *per structure*, so the natural way to scale
 //! writers is to partition the key space into **independent rebalance
 //! domains**: [`ShardedMap`] splits the keys across many `LabelMap` shards
-//! (each its own `Growable` doubling domain) behind per-shard `RwLock`s,
-//! with a directory of split keys deciding which shard owns which key.
+//! (each its own `Growable` doubling domain), with an RCU-published
+//! directory of split keys deciding which shard owns which key.
 //!
-//! * **Point operations** (`insert` / `get` / `get_mut_with` / `remove` /
-//!   `contains_key`) take the directory lock shared plus exactly **one**
-//!   shard lock — writers on different shards never contend.
-//! * **Range scans** and full iteration stitch per-shard sweeps in key
-//!   order, locking one shard at a time.
-//! * **Splits and merges** keep shards inside a size band: both are bulk
-//!   moves over the `splice` path added in PR 2
-//!   ([`LabelMap::split_off_at_rank`](lll_api::LabelMap::split_off_at_rank)
-//!   exports the upper half sorted, `extend_sorted` lands it in one O(shard)
-//!   sweep), so re-sharding costs O(shard), not O(n · polylog n).
+//! * **Reads are lock-free against the directory and optimistic against
+//!   shards**: `get` / `contains_key` / `range` pin the current directory
+//!   snapshot with two atomic ops (no lock, no allocation), then validate
+//!   the owning shard's epoch and `try_read` it — falling back to a
+//!   blocking shard lock only after a bounded retry budget. A writer on
+//!   one shard never stalls readers of any other shard, and steady-state
+//!   readers of *its* shard retry briefly instead of queueing.
+//! * **Point writes** (`insert` / `get_mut_with` / `remove`) take exactly
+//!   **one** shard lock — writers on different shards never contend — and
+//!   stamp the shard's epoch (odd = write in progress) around the
+//!   critical section.
+//! * **Splits and merges** run under the maintenance mutex: they
+//!   restructure into *fresh* shards, publish a successor directory via
+//!   RCU, and retire the replaced shards (epoch = `u64::MAX`), bouncing
+//!   in-flight readers of the old snapshot to a reload. Both are bulk
+//!   moves over the `splice` path added in PR 2, so re-sharding costs
+//!   O(shard), not O(n · polylog n).
 //! * **Snapshots** ([`ShardedMap::write_snapshot`] /
 //!   [`ShardedMap::read_snapshot`]) persist the split-key directory and
-//!   each shard's sorted run under the exclusive directory lock (the
-//!   maintenance barrier), and restore pre-sharded — each shard lands via
-//!   its own O(shard) bulk sweep, no split cascade, no per-op replay. See
+//!   each shard's sorted run under the maintenance mutex with every shard
+//!   read-locked at once — an atomic picture that blocks writers but not
+//!   readers — and restore pre-sharded via O(shard) bulk sweeps. See
 //!   `docs/persistence.md`.
 //!
 //! ```
@@ -43,22 +50,31 @@
 //! });
 //! assert_eq!(map.len(), 2000);
 //! assert!(map.stats().shards > 1, "growth should have split the key space");
+//! assert!(map.stats().read_optimistic_hits > 0, "len() rode the optimistic path");
 //! ```
 //!
-//! Lock order is strict — directory before shard, one shard at a time —
-//! and structural changes (split/merge) take the directory lock
-//! exclusively, which by construction waits out every in-flight point
-//! operation. See `docs/sharding.md` in the repository root for the full
-//! runbook (policy knobs, lock order, split/merge invariants).
+//! Lock order is strict — maintenance mutex before shard locks, at most
+//! one shard lock outside maintenance — and directory publication happens
+//! only under the maintenance mutex with no shard lock held. The
+//! `lock_order` module enforces the order at runtime in debug builds;
+//! lll-check's `lock-order` rule enforces it statically. See
+//! `docs/sharding.md` in the repository root for the full runbook (policy
+//! knobs, concurrency model, split/merge invariants).
+//!
+//! The only `unsafe` in the crate is the RCU cell in `rcu.rs` (whitelisted
+//! by lll-check's `unsafe-discipline` rule, every block carrying a
+//! `// SAFETY:` argument); everything else is `#![deny(unsafe_code)]`.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 mod builder;
 mod lock_order;
 mod map;
+mod rcu;
 
 pub use builder::ShardedBuilder;
-pub use map::{ShardPolicy, ShardedMap, ShardedStats};
+pub use lock_order::maintenance_acquisitions;
+pub use map::{ReadPathMetrics, ShardPolicy, ShardedMap, ShardedStats};
 
 // Compile-time thread-safety audit, mirroring `lll-api`'s: the whole point
 // of this crate is to be shared across threads.
@@ -69,4 +85,5 @@ fn assert_thread_safe() {
     assert_send_sync::<ShardedMap<String, Vec<u8>>>();
     assert_send_sync::<ShardedStats>();
     assert_send_sync::<ShardedBuilder>();
+    assert_send_sync::<ReadPathMetrics>();
 }

@@ -1,26 +1,65 @@
-//! Runtime enforcement of the two-level locking protocol.
+//! Runtime enforcement of the locking protocol around the RCU'd
+//! directory.
 //!
-//! The crate's invariant — directory before shard, at most one shard at a
-//! time, never the reverse — is enforced twice: statically by `lll-check`
-//! (every acquisition site names its [`Level`], and the linter simulates
-//! guard lifetimes lexically) and dynamically by the debug-build tracker
-//! in this module, which counts the guards each thread holds and panics
-//! the moment an acquisition would invert the order. The check runs
-//! *before* blocking on the `RwLock`, so an ordering bug surfaces as an
-//! immediate panic with a message instead of a silent deadlock. In
-//! release builds the tracker compiles to nothing: [`Tracked`] is a
-//! newtype over the guard and the token is a zero-sized no-op.
+//! The crate's invariant has three parts, enforced twice — statically by
+//! `lll-check` (every acquisition site names its [`Level`], and the linter
+//! simulates guard lifetimes lexically) and dynamically by the debug-build
+//! tracker in this module, which counts the guards each thread holds and
+//! panics the moment an acquisition would invert the order:
+//!
+//! 1. The **maintenance mutex** (`ShardedMap::maint`) is the outermost
+//!    level: splits, merges, batches, and snapshots serialize under it.
+//!    It is acquired only with no shard guard and no RCU guard live — a
+//!    thread that pinned a directory borrow and then blocked on
+//!    maintenance would deadlock the publisher's grace wait.
+//! 2. Each **shard lock** (`RwLock<LabelMap>`) guards one rebalance
+//!    domain. Point operations hold at most one; only a maintenance
+//!    holder may stack several (merges lock a neighboring pair, snapshots
+//!    read-lock every shard for one atomic picture).
+//! 3. **RCU guards** ([`rcu_load`]) pin a directory snapshot without any
+//!    lock. They nest freely under anything, but publication
+//!    ([`rcu_publish`]) requires the maintenance mutex and *no* live shard
+//!    or RCU guard on the publishing thread: a shard guard could deadlock
+//!    a fallback reader that pinned the old directory, and an own RCU
+//!    guard would deadlock the grace wait against itself.
+//!
+//! The check runs *before* blocking, so an ordering bug surfaces as an
+//! immediate panic with a message instead of a silent deadlock. In release
+//! builds the tracker compiles to nothing — [`Tracked`] is a newtype over
+//! the guard and the token is a zero-sized no-op — except for one
+//! always-on per-thread count of maintenance acquisitions
+//! ([`maintenance_acquisitions`]), which the release-mode stress suite
+//! uses to prove reader threads never touch the directory lock.
 
+use crate::rcu::{RcuCell, RcuGuard};
+use std::cell::Cell;
 use std::ops::{Deref, DerefMut};
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError};
 
-/// The two lock levels of the protocol, outermost first.
+/// The lock levels of the protocol, outermost first.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub(crate) enum Level {
-    /// The split-key table + shard vector (`ShardedMap::dir`).
-    Directory,
+    /// The structural-maintenance mutex (`ShardedMap::maint`): splits,
+    /// merges, batches, snapshots.
+    Maintenance,
     /// One shard's `LabelMap` (an entry of `Directory::shards`).
     Shard,
+}
+
+thread_local! {
+    /// Always-on (release builds included): how many times this thread has
+    /// acquired the maintenance mutex. Cheap — maintenance is rare by
+    /// design — and it lets release-mode stress tests assert that reader
+    /// threads never took the directory's only lock.
+    static MAINT_ACQUIRED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// How many times **this thread** has acquired the maintenance mutex over
+/// its lifetime. Diagnostic: the read path must never bump it, and the
+/// concurrency stress suite asserts exactly that from its reader threads.
+pub fn maintenance_acquisitions() -> u64 {
+    MAINT_ACQUIRED.with(|c| c.get())
 }
 
 #[cfg(debug_assertions)]
@@ -29,14 +68,14 @@ mod tracker {
     use std::cell::Cell;
 
     thread_local! {
-        /// (directory, shard) guard counts live on this thread.
-        static HELD: Cell<(u32, u32)> = const { Cell::new((0, 0)) };
+        /// (maintenance, shard, rcu) guard counts live on this thread.
+        static HELD: Cell<(u32, u32, u32)> = const { Cell::new((0, 0, 0)) };
     }
 
-    /// RAII witness of one guard. Acquired *before* blocking on the lock
-    /// — a would-be self-deadlock panics instead of hanging — and dropped
-    /// *after* the guard it tracks (field order in `Tracked` guarantees
-    /// the lock is released first).
+    /// RAII witness of one lock guard. Acquired *before* blocking on the
+    /// lock — a would-be self-deadlock panics instead of hanging — and
+    /// dropped *after* the guard it tracks (field order in `Tracked`
+    /// guarantees the lock is released first).
     pub(crate) struct Token {
         level: Level,
     }
@@ -44,28 +83,33 @@ mod tracker {
     impl Token {
         pub(crate) fn acquire(level: Level) -> Self {
             HELD.with(|h| {
-                let (dir, shard) = h.get();
+                let (maint, shard, rcu) = h.get();
                 match level {
-                    Level::Directory => {
+                    Level::Maintenance => {
                         assert!(
                             shard == 0,
-                            "lock-order inversion: directory lock requested while {shard} shard \
-                             guard(s) are live (order is directory → shard)"
+                            "lock-order inversion: maintenance lock requested while {shard} shard \
+                             guard(s) are live (order is maintenance → shard)"
                         );
                         assert!(
-                            dir == 0,
-                            "lock-order inversion: directory lock re-entered on one thread \
-                             (RwLock is not re-entrant)"
+                            rcu == 0,
+                            "lock-order inversion: maintenance lock requested while {rcu} RCU \
+                             guard(s) pin the directory (a publisher's grace wait would deadlock)"
                         );
-                        h.set((dir + 1, shard));
+                        assert!(
+                            maint == 0,
+                            "lock-order inversion: maintenance lock re-entered on one thread \
+                             (Mutex is not re-entrant)"
+                        );
+                        h.set((maint + 1, shard, rcu));
                     }
                     Level::Shard => {
                         assert!(
-                            shard == 0,
-                            "lock-order inversion: a second shard lock requested while one is \
-                             live (at most one shard at a time)"
+                            shard == 0 || maint > 0,
+                            "lock-order inversion: a second shard lock requested without the \
+                             maintenance lock (point ops hold at most one shard)"
                         );
-                        h.set((dir, shard + 1));
+                        h.set((maint, shard + 1, rcu));
                     }
                 }
             });
@@ -76,13 +120,56 @@ mod tracker {
     impl Drop for Token {
         fn drop(&mut self) {
             HELD.with(|h| {
-                let (dir, shard) = h.get();
+                let (maint, shard, rcu) = h.get();
                 match self.level {
-                    Level::Directory => h.set((dir - 1, shard)),
-                    Level::Shard => h.set((dir, shard - 1)),
+                    Level::Maintenance => h.set((maint - 1, shard, rcu)),
+                    Level::Shard => h.set((maint, shard - 1, rcu)),
                 }
             });
         }
+    }
+
+    /// RAII witness of one RCU directory borrow.
+    pub(crate) struct RcuToken;
+
+    impl RcuToken {
+        pub(crate) fn acquire() -> Self {
+            HELD.with(|h| {
+                let (maint, shard, rcu) = h.get();
+                h.set((maint, shard, rcu + 1));
+            });
+            RcuToken
+        }
+    }
+
+    impl Drop for RcuToken {
+        fn drop(&mut self) {
+            HELD.with(|h| {
+                let (maint, shard, rcu) = h.get();
+                h.set((maint, shard, rcu - 1));
+            });
+        }
+    }
+
+    /// Publication preconditions (see the module docs, rule 3).
+    pub(crate) fn assert_publish_safe() {
+        HELD.with(|h| {
+            let (maint, shard, rcu) = h.get();
+            assert!(
+                maint > 0,
+                "rcu_publish without the maintenance lock: publication must be serialized"
+            );
+            assert!(
+                shard == 0,
+                "rcu_publish while {shard} shard guard(s) are live: a fallback reader pinning \
+                 the old directory could block on them and deadlock the grace wait"
+            );
+            assert!(
+                rcu == 0,
+                "rcu_publish while {rcu} RCU guard(s) are live on the publishing thread: the \
+                 grace wait would deadlock against itself"
+            );
+        });
     }
 }
 
@@ -97,6 +184,18 @@ mod tracker {
             Token
         }
     }
+
+    pub(crate) struct RcuToken;
+
+    impl RcuToken {
+        #[inline(always)]
+        pub(crate) fn acquire() -> Self {
+            RcuToken
+        }
+    }
+
+    #[inline(always)]
+    pub(crate) fn assert_publish_safe() {}
 }
 
 /// A lock guard paired with its order-tracker token. Derefs to the
@@ -131,71 +230,181 @@ pub(crate) fn rlock<T>(lock: &RwLock<T>, level: Level) -> Tracked<RwLockReadGuar
     Tracked { guard: lock.read().unwrap_or_else(|e| e.into_inner()), _order: order }
 }
 
+/// Non-blocking [`rlock`]: `None` if a writer holds the lock right now.
+/// This is the optimistic read path's probe — the tracker check still runs
+/// (an inversion is a bug whether or not the lock happened to be free).
+pub(crate) fn try_rlock<T>(
+    lock: &RwLock<T>,
+    level: Level,
+) -> Option<Tracked<RwLockReadGuard<'_, T>>> {
+    let order = tracker::Token::acquire(level);
+    let guard = match lock.try_read() {
+        Ok(g) => g,
+        Err(TryLockError::Poisoned(e)) => e.into_inner(),
+        Err(TryLockError::WouldBlock) => return None,
+    };
+    Some(Tracked { guard, _order: order })
+}
+
 /// Exclusive-lock counterpart of [`rlock`].
 pub(crate) fn wlock<T>(lock: &RwLock<T>, level: Level) -> Tracked<RwLockWriteGuard<'_, T>> {
     let order = tracker::Token::acquire(level);
     Tracked { guard: lock.write().unwrap_or_else(|e| e.into_inner()), _order: order }
 }
 
+/// Acquire the maintenance mutex — the outermost level. Poison recovery as
+/// in [`rlock`]; also bumps the always-on per-thread acquisition count
+/// behind [`maintenance_acquisitions`].
+pub(crate) fn mlock<T>(lock: &Mutex<T>) -> Tracked<MutexGuard<'_, T>> {
+    let order = tracker::Token::acquire(Level::Maintenance);
+    MAINT_ACQUIRED.with(|c| c.set(c.get() + 1));
+    Tracked { guard: lock.lock().unwrap_or_else(|e| e.into_inner()), _order: order }
+}
+
+/// An RCU directory borrow paired with its tracker token. Derefs to the
+/// published value.
+pub(crate) struct TrackedRcu<'a, T> {
+    // Field order is load-bearing, as in `Tracked`: the borrow ends before
+    // the token decrements the count.
+    guard: RcuGuard<'a, T>,
+    _order: tracker::RcuToken,
+}
+
+impl<T> Deref for TrackedRcu<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+/// Pin and borrow the currently published directory — the reader-side
+/// entry point. Lock-free: never blocks, never allocates.
+// lll-check: no-alloc
+pub(crate) fn rcu_load<T>(cell: &RcuCell<T>) -> TrackedRcu<'_, T> {
+    let order = tracker::RcuToken::acquire();
+    TrackedRcu { guard: cell.load(), _order: order }
+}
+
+/// Clone out the currently published directory `Arc` (for maintenance
+/// walks that must not pin a grace period across shard-lock waits).
+pub(crate) fn rcu_snapshot<T>(cell: &RcuCell<T>) -> Arc<T> {
+    cell.snapshot()
+}
+
+/// Publish a new directory and retire the old one after its grace period.
+/// Debug builds enforce the publication preconditions (maintenance held,
+/// no shard or RCU guard live on this thread) *before* the swap.
+pub(crate) fn rcu_publish<T>(cell: &RcuCell<T>, new: Arc<T>) {
+    tracker::assert_publish_safe();
+    cell.replace(new);
+}
+
 #[cfg(test)]
 mod tests {
-    use super::{rlock, wlock, Level};
-    use std::sync::RwLock;
+    use super::*;
 
     #[test]
     fn legal_orders_are_silent() {
-        let dir = RwLock::new(0u32);
+        let maint = Mutex::new(());
         let shard_a = RwLock::new(0u32);
         let shard_b = RwLock::new(0u32);
+        let cell = RcuCell::new(Arc::new(1u32));
         {
-            // Directory, then one shard.
-            let d = rlock(&dir, Level::Directory);
+            // The read path: RCU borrow, then one shard.
+            let d = rcu_load(&cell);
             let a = rlock(&shard_a, Level::Shard);
-            assert_eq!(*d + *a, 0);
+            assert_eq!(*d, 1 + *a);
         }
         {
-            // One shard at a time, sequentially, is the scan pattern.
-            let d = rlock(&dir, Level::Directory);
+            // The optimistic probe is a shard acquisition like any other.
+            let _d = rcu_load(&cell);
+            let probe = try_rlock(&shard_a, Level::Shard);
+            assert!(probe.is_some(), "uncontended probe must succeed");
+        }
+        {
+            // Scans: one shard at a time, sequentially, under one borrow.
+            let _d = rcu_load(&cell);
             for s in [&shard_a, &shard_b] {
                 let g = rlock(s, Level::Shard);
-                assert_eq!(*g, *d);
+                assert_eq!(*g, 0);
             }
         }
-        // Exclusive directory with no shard guards is the barrier.
-        let mut d = wlock(&dir, Level::Directory);
-        *d += 1;
+        {
+            // Maintenance stacks shard guards (merge locks a pair) and
+            // publishes with all of them released.
+            let _m = mlock(&maint);
+            {
+                let _a = wlock(&shard_a, Level::Shard);
+                let _b = wlock(&shard_b, Level::Shard);
+            }
+            rcu_publish(&cell, Arc::new(2));
+        }
+        assert_eq!(*rcu_load(&cell), 2);
+        assert!(maintenance_acquisitions() >= 1, "mlock bumps the always-on count");
+    }
+
+    #[test]
+    fn try_rlock_reports_writer_contention() {
+        let shard = RwLock::new(0u32);
+        let w = wlock(&shard, Level::Shard);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert!(try_rlock(&shard, Level::Shard).is_none(), "writer held: must not block");
+            });
+        });
+        drop(w);
+        assert!(try_rlock(&shard, Level::Shard).is_some());
     }
 
     #[test]
     fn tracker_state_survives_a_panic() {
         // An inversion panic must unwind cleanly: the poisoned attempt's
         // guards drop, and the thread can lock legally again.
-        let dir = RwLock::new(0u32);
+        let maint = Mutex::new(());
         let shard = RwLock::new(0u32);
         if cfg!(debug_assertions) {
             let result = std::panic::catch_unwind(|| {
                 let _s = rlock(&shard, Level::Shard);
-                let _d = rlock(&dir, Level::Directory);
+                let _m = mlock(&maint);
             });
             assert!(result.is_err(), "inversion must panic in debug builds");
         }
-        let _d = rlock(&dir, Level::Directory);
+        let _m = mlock(&maint);
         let _s = rlock(&shard, Level::Shard);
     }
 
     #[test]
     #[cfg_attr(
         debug_assertions,
-        should_panic(expected = "lock-order inversion: directory lock requested")
+        should_panic(expected = "lock-order inversion: maintenance lock requested while 1 shard")
     )]
-    fn directory_under_shard_panics_in_debug() {
-        let dir = RwLock::new(0u32);
+    fn maintenance_under_shard_panics_in_debug() {
+        let maint = Mutex::new(());
         let shard = RwLock::new(0u32);
         let _s = rlock(&shard, Level::Shard);
         // In release builds the tracker is compiled out and these are two
-        // unrelated RwLocks, so the body completes without panicking and
-        // the should_panic expectation is compiled out with it.
-        let _d = wlock(&dir, Level::Directory);
+        // unrelated locks, so the body completes without panicking and the
+        // should_panic expectation is compiled out with it. The same
+        // gating pattern protects every inversion test below: the release
+        // body simply skips the offending acquisition.
+        if cfg!(debug_assertions) {
+            let _m = mlock(&maint);
+        }
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        should_panic(expected = "maintenance lock requested while 1 RCU guard")
+    )]
+    fn maintenance_under_rcu_guard_panics_in_debug() {
+        let maint = Mutex::new(());
+        let cell = RcuCell::new(Arc::new(0u32));
+        let _d = rcu_load(&cell);
+        if cfg!(debug_assertions) {
+            let _m = mlock(&maint);
+        }
     }
 
     #[test]
@@ -203,27 +412,35 @@ mod tests {
         debug_assertions,
         should_panic(expected = "lock-order inversion: a second shard lock")
     )]
-    fn two_shard_guards_panic_in_debug() {
+    fn two_shards_without_maintenance_panic_in_debug() {
         let shard_a = RwLock::new(0u32);
         let shard_b = RwLock::new(0u32);
         let _a = rlock(&shard_a, Level::Shard);
-        let _b = rlock(&shard_b, Level::Shard);
+        if cfg!(debug_assertions) {
+            let _b = rlock(&shard_b, Level::Shard);
+        }
     }
 
     #[test]
-    #[cfg_attr(
-        debug_assertions,
-        should_panic(expected = "lock-order inversion: directory lock re-entered")
-    )]
-    fn directory_reentry_panics_in_debug() {
-        // Without the tracker this is a guaranteed deadlock on platforms
-        // where RwLock read-locks aren't re-entrant; the debug check turns
-        // it into a panic *before* blocking. Release builds skip the test
-        // body's second acquisition entirely.
-        let dir = RwLock::new(0u32);
-        let _d1 = rlock(&dir, Level::Directory);
+    #[cfg_attr(debug_assertions, should_panic(expected = "rcu_publish without the maintenance"))]
+    fn publish_without_maintenance_panics_in_debug() {
+        let cell = RcuCell::new(Arc::new(0u32));
         if cfg!(debug_assertions) {
-            let _d2 = rlock(&dir, Level::Directory);
+            rcu_publish(&cell, Arc::new(1));
+        }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "rcu_publish while 1 RCU guard"))]
+    fn publish_with_live_rcu_guard_panics_in_debug() {
+        let maint = Mutex::new(());
+        let cell = RcuCell::new(Arc::new(0u32));
+        let _m = mlock(&maint);
+        // Gated even at the call: in release the grace wait would truly
+        // deadlock against this thread's own live guard.
+        if cfg!(debug_assertions) {
+            let _d = rcu_load(&cell);
+            rcu_publish(&cell, Arc::new(1));
         }
     }
 }

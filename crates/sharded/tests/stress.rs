@@ -10,6 +10,12 @@
 //! * `scans_stay_sorted_under_concurrent_writers`: readers stitch range
 //!   scans while writers churn; every stitched scan must be sorted and
 //!   duplicate-free even though it is not an atomic snapshot.
+//! * `readers_stay_lock_free_under_churning_writer`: the optimistic read
+//!   path's acceptance test — reader threads validate stable keys
+//!   exactly and churned keys for torn values while one writer forces
+//!   splits, merges, and directory growth; afterwards the optimistic hit
+//!   ratio must clear 90% and no reader may have touched the maintenance
+//!   lock (checked through the always-on per-thread acquisition counter).
 //! * `range_stitching_matches_reference`: a single-threaded property test —
 //!   cross-shard `range`/`to_vec` stitching equals a `BTreeMap` reference
 //!   under churn that forces splits and merges.
@@ -170,6 +176,145 @@ fn stress_corollary11() {
 #[test]
 fn stress_corollary12() {
     differential_stress(Backend::Corollary12);
+}
+
+/// Value a stable key carries for its whole life: a fixed transform of
+/// the key, so any torn read (a value from a different key, a partial
+/// word, stale garbage) is detectable by recomputation.
+fn stable_value(k: u64) -> u64 {
+    k.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA5A5_A5A5_A5A5_A5A5
+}
+
+/// Every value a churned key may legally carry (the writer always writes
+/// `churn_value(k)`), so a concurrent read must see exactly this or
+/// absence — anything else is a torn read.
+fn churn_value(k: u64) -> u64 {
+    k.rotate_left(17) ^ 0x5A5A_5A5A_5A5A_5A5A
+}
+
+/// The optimistic-read-path acceptance test. Keyspace split: even keys
+/// are *stable* (inserted once, never touched again — readers assert
+/// their exact values), odd keys are *churned* by a single writer whose
+/// insert/remove waves force shard splits, merges, and directory growth
+/// under the readers' feet. Readers run pure point reads and assert:
+///
+/// * stable keys always present with the exact expected value,
+/// * churned keys either absent or carrying exactly `churn_value(k)` —
+///   the torn-read detector,
+/// * the reader thread never acquired the maintenance (directory) lock:
+///   [`maintenance_acquisitions`] is per-thread and always-on, so a
+///   zero delta proves the hot read path stayed off the directory lock
+///   even while the writer was growing the directory,
+///
+/// and the run as a whole must answer > 90% of reads on the optimistic
+/// path (hits / (hits + fallbacks)) — the perf claim, enforced.
+///
+/// Debug builds scale the op counts down (the layered write path carries
+/// real debug-mode constants); release runs the full volume.
+#[test]
+fn readers_stay_lock_free_under_churning_writer() {
+    let readers: u64 = 4;
+    let (reads_per_thread, writer_waves): (u64, u64) =
+        if cfg!(debug_assertions) { (30_000, 6) } else { (150_000, 20) };
+    let stable_keys: u64 = 600;
+    // Churned odd keys reach ~3x past the stable range, so a drain wave
+    // empties the high shards outright and forces merges, not just len
+    // shrinkage inside the policy band.
+    let churn_keys: u64 = 1800;
+    let map = Arc::new(
+        ShardedBuilder::new()
+            .backend(Backend::Corollary11)
+            .seed(0xC0FFEE)
+            .max_shard_len(96)
+            .min_shard_len(24)
+            .build::<u64, u64>(),
+    );
+    let _trace_guard = TraceDump(map.trace());
+    for k in (0..stable_keys * 2).step_by(2) {
+        map.insert(k, stable_value(k));
+    }
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    thread::scope(|s| {
+        let writer = {
+            let map = Arc::clone(&map);
+            let stop = &stop;
+            s.spawn(move || {
+                // Insert waves double the live set (splits + directory
+                // growth); drain waves pull it back through the merge
+                // threshold. Loop until every reader is done so churn
+                // covers the whole read phase.
+                let mut wave = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) || wave < writer_waves {
+                    for k in 0..churn_keys {
+                        map.insert(k * 2 + 1, churn_value(k * 2 + 1));
+                    }
+                    for k in 0..churn_keys {
+                        map.remove(&(k * 2 + 1));
+                    }
+                    wave += 1;
+                }
+            })
+        };
+        let handles: Vec<_> = (0..readers)
+            .map(|tid| {
+                let map = Arc::clone(&map);
+                s.spawn(move || {
+                    let maint_before = lll_sharded::maintenance_acquisitions();
+                    let mut rng = StdRng::seed_from_u64(tid + 7000);
+                    let mut stable_hits = 0u64;
+                    for _ in 0..reads_per_thread {
+                        if rng.gen_bool(0.5) {
+                            let k = rng.gen_range(0..stable_keys) * 2;
+                            assert_eq!(
+                                map.get(&k),
+                                Some(stable_value(k)),
+                                "stable key {k} torn or lost under churn"
+                            );
+                            stable_hits += 1;
+                        } else {
+                            let k = rng.gen_range(0..churn_keys) * 2 + 1;
+                            if let Some(v) = map.get(&k) {
+                                assert_eq!(
+                                    v,
+                                    churn_value(k),
+                                    "churned key {k} returned torn value"
+                                );
+                            }
+                            // contains_key must agree with get's modality
+                            // class (absent or present are both legal
+                            // mid-churn; a panic or torn value is not).
+                            let _ = map.contains_key(&k);
+                        }
+                    }
+                    assert_eq!(
+                        lll_sharded::maintenance_acquisitions(),
+                        maint_before,
+                        "reader thread {tid} acquired the maintenance lock on the read path"
+                    );
+                    stable_hits
+                })
+            })
+            .collect();
+        let total_stable: u64 =
+            handles.into_iter().map(|h| h.join().expect("reader thread panicked")).sum();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        writer.join().expect("writer thread panicked");
+        assert!(total_stable > 0);
+    });
+    map.check_invariants();
+    let stats = map.stats();
+    assert!(stats.splits > 0, "writer churn never split a shard");
+    assert!(stats.merges > 0, "writer churn never merged a shard");
+    let attempts = stats.read_optimistic_hits + stats.read_lock_fallbacks;
+    let hit_ratio = stats.read_optimistic_hits as f64 / attempts.max(1) as f64;
+    assert!(
+        hit_ratio > 0.9,
+        "optimistic path answered only {:.1}% of reads ({} hits, {} fallbacks, {} retries)",
+        hit_ratio * 100.0,
+        stats.read_optimistic_hits,
+        stats.read_lock_fallbacks,
+        stats.read_retries
+    );
 }
 
 #[test]

@@ -1,7 +1,9 @@
 //! Runtime teeth for the zero-alloc steady-state insert path (PR 4): a
 //! counting global allocator pins the property "once warm, churn does not
 //! allocate" on [`LabelMap`] and [`OrderedList`], for both the classic and
-//! the deamortized backend.
+//! the deamortized backend — plus, since the lock-free reader PR, the
+//! property "an optimistic `ShardedMap` read allocates nothing, ever"
+//! (no convergence allowance: zero from round one).
 //!
 //! Methodology: structures allocate while *growing* (slot-array doubling,
 //! hash-table growth, rebalance scratch buffers reaching their high-water
@@ -17,6 +19,7 @@
 //! pollute the process-global counter.
 
 use lll_api::{Backend, ListBuilder};
+use lll_sharded::ShardedBuilder;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -131,10 +134,55 @@ fn ordered_list_churn(backend: Backend) {
     assert_eq!(list.len(), N as usize);
 }
 
+/// The optimistic read path's allocation budget is zero: once the map is
+/// built and one warm-up read has paid any lazy thread-local setup, a
+/// `get`/`get_with`/`contains_key` round over present and absent keys
+/// must not allocate at all — the path is an RCU directory load plus an
+/// epoch-validated shard probe, both advertised (and linted) as
+/// allocation-free. Unlike the churn rounds above there is no
+/// convergence allowance: reads allocate zero from round one.
+fn sharded_read_churn() {
+    let map = ShardedBuilder::new()
+        .backend(Backend::Classic)
+        .seed(17)
+        .max_shard_len(64)
+        .min_shard_len(16)
+        .build::<u64, u64>();
+    for k in 0..N {
+        map.insert(k, k * 3);
+    }
+    // Warm-up: first contact initializes the lock-order tracker's
+    // thread-locals and any lazy statics off the measured path.
+    assert_eq!(map.get(&0), Some(0));
+    assert!(map.contains_key(&(N - 1)));
+
+    let reads = allocs_in(|| {
+        for k in 0..N {
+            assert_eq!(map.get(&k), Some(k * 3));
+            assert!(map.contains_key(&k));
+            assert_eq!(map.get_with(&k, |v| *v ^ 1), Some((k * 3) ^ 1));
+            assert_eq!(map.get(&(k + N)), None, "absent probes are also allocation-free");
+        }
+    });
+    assert_eq!(
+        reads, 0,
+        "ShardedMap optimistic reads allocated ({reads} allocations for {N} keys)"
+    );
+    assert_eq!(map.len(), N as usize);
+
+    // The counters the path maintains are pre-registered atomics — assert
+    // the round above actually rode the optimistic path rather than
+    // proving a zero-alloc *fallback*.
+    let stats = map.stats();
+    assert!(stats.read_optimistic_hits >= 4 * N, "reads did not ride the optimistic path");
+    assert_eq!(stats.read_lock_fallbacks, 0, "a single-threaded reader never falls back");
+}
+
 #[test]
 fn steady_state_operations_reach_zero_allocations() {
     for backend in [Backend::Classic, Backend::Deamortized] {
         label_map_churn(backend);
         ordered_list_churn(backend);
     }
+    sharded_read_churn();
 }
