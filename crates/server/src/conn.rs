@@ -107,6 +107,10 @@ fn handle(request: Request, shared: &Shared) -> (Response, bool) {
             let s = map.stats();
             (
                 Response::Stats(StatsReply {
+                    // Version 2: the optimistic-read-path counters joined
+                    // the reply (version 1 was the unversioned pre-read-
+                    // counter layout; the field itself is new with 2).
+                    version: 2,
                     shards: s.shards as u64,
                     len: s.len as u64,
                     splits: s.splits,

@@ -140,6 +140,8 @@ pub struct HealthReply {
 /// Per-shard statistics (the `Stats` verb) — `ShardedStats` on the wire.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StatsReply {
+    /// Schema version of this reply; bumped if fields change meaning.
+    pub version: u64,
     /// Number of shards.
     pub shards: u64,
     /// Total entries.
@@ -267,6 +269,7 @@ impl Codec for HealthReply {
 
 impl Codec for StatsReply {
     fn encode<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), lll_api::SnapshotError> {
+        self.version.encode(w)?;
         self.shards.encode(w)?;
         self.len.encode(w)?;
         self.splits.encode(w)?;
@@ -282,6 +285,7 @@ impl Codec for StatsReply {
 
     fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, lll_api::SnapshotError> {
         Ok(Self {
+            version: u64::decode(r)?,
             shards: u64::decode(r)?,
             len: u64::decode(r)?,
             splits: u64::decode(r)?,

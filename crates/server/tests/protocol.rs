@@ -41,6 +41,7 @@ fn all_responses() -> Vec<Response> {
             len: 1000,
         }),
         Response::Stats(lll_server::StatsReply {
+            version: 2,
             shards: 4,
             len: 100,
             splits: 3,

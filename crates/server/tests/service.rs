@@ -61,6 +61,7 @@ fn all_verbs_roundtrip_over_a_real_socket() {
     assert!(health.active_conns >= 1);
     assert!(health.served_requests > 10);
     let stats = c.stats().unwrap();
+    assert_eq!(stats.version, 2, "stats reply must be versioned");
     assert_eq!(stats.len, 300);
     assert!(stats.shards > 1, "300 keys over max 64 must shard");
     assert_eq!(stats.shard_lens.iter().sum::<u64>(), 300);

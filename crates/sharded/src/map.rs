@@ -231,11 +231,15 @@ impl<K: Ord, V> Shard<K, V> {
                     // this lock upgrade is what keeps the fast path safe
                     // Rust rather than a racy seqlock.
                     let now = self.epoch.load(Ordering::Acquire);
-                    debug_assert_eq!(now & WRITE_BIT, 0, "write bit set under a read guard");
+                    // RETIRED has the write bit set, so rule it out before
+                    // asserting quiescence — a split/merge retiring the
+                    // shard between the precheck and the lock is the legal
+                    // race this branch exists for.
                     if now == RETIRED {
                         book_retries(attempts);
                         return ReadAttempt::Retired;
                     }
+                    debug_assert_eq!(now & WRITE_BIT, 0, "write bit set under a read guard");
                     let out = f(&guard);
                     robs.optimistic_hits.inc();
                     book_retries(attempts);
@@ -708,10 +712,14 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
                 let idx = dir.locate(key);
                 let shard = &dir.shards[idx];
                 let attempt = shard.read(&self.read_obs, |m| {
+                    // Counted under the read guard: a merge can absorb this
+                    // shard's ShardObs into the survivor the instant the
+                    // guard drops, and an increment after that loses the
+                    // read from the monotone-across-resharding totals.
+                    shard.obs.reads.inc();
                     m.get(key).map(|v| (f.take().expect("read closure ran twice"))(v))
                 });
                 if let ReadAttempt::Hit(out) = attempt {
-                    shard.obs.reads.inc();
                     return out;
                 }
             }
@@ -764,9 +772,13 @@ impl<K: Ord + Clone, V> ShardedMap<K, V> {
                 let dir = rcu_load(&self.dir);
                 let idx = dir.locate(key);
                 let shard = &dir.shards[idx];
-                if let ReadAttempt::Hit(found) = shard.read(&self.read_obs, |m| m.contains_key(key))
-                {
+                let attempt = shard.read(&self.read_obs, |m| {
+                    // Under the guard, as in `get_with`: survives a racing
+                    // merge's ShardObs absorption.
                     shard.obs.reads.inc();
+                    m.contains_key(key)
+                });
+                if let ReadAttempt::Hit(found) = attempt {
                     return found;
                 }
             }
