@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 
 mod backend;
+pub mod codec;
 pub mod cursor;
 pub mod label_map;
 pub mod ordered_list;

@@ -67,12 +67,10 @@ pub const MAGIC: [u8; 8] = *b"LLLSNAP\0";
 /// The current (and only) snapshot format version this reader decodes.
 pub const FORMAT_VERSION: u32 = 1;
 
-/// Cap on speculative pre-allocation while decoding length-framed data:
-/// reservations beyond this grow organically as bytes actually arrive, so
-/// a corrupt length cannot force a giant allocation. Public so other
-/// length-framed decoders (e.g. `lll-server`'s wire protocol) share the
-/// same discipline.
-pub const PREALLOC_CAP: usize = 1 << 16;
+// The length-guard helpers were born here and are re-exported under their
+// original names; they now live in [`crate::codec`] so the server's wire
+// frames and the WAL's record reader share one copy of the idiom.
+pub use crate::codec::{decode_len, PREALLOC_CAP};
 
 /// Everything that can go wrong decoding (or writing) a snapshot. Decode
 /// paths return these — they never panic on malformed input.
@@ -259,15 +257,6 @@ impl Codec for () {
     }
 }
 
-/// Decode a `u64` frame length into a checked element count. Shared by
-/// every length-framed decoder in the workspace (snapshots here, wire
-/// frames in `lll-server`); pair it with [`PREALLOC_CAP`] before
-/// reserving.
-pub fn decode_len<R: Read + ?Sized>(r: &mut R) -> Result<usize, SnapshotError> {
-    usize::try_from(u64::decode(r)?)
-        .map_err(|_| SnapshotError::Corrupt("frame length exceeds host width".into()))
-}
-
 impl Codec for String {
     /// `u64` byte length + UTF-8 bytes; decode validates the UTF-8.
     fn encode<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError> {
@@ -277,14 +266,7 @@ impl Codec for String {
     }
 
     fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, SnapshotError> {
-        let len = decode_len(r)?;
-        let mut bytes = Vec::with_capacity(len.min(PREALLOC_CAP));
-        // `take` bounds the read; a lying length hits EOF → Truncated,
-        // never a giant up-front reservation.
-        let got = r.take(len as u64).read_to_end(&mut bytes)?;
-        if got < len {
-            return Err(SnapshotError::Truncated);
-        }
+        let bytes = crate::codec::decode_framed_bytes(r)?;
         String::from_utf8(bytes)
             .map_err(|_| SnapshotError::Corrupt("string frame is not UTF-8".into()))
     }

@@ -1,0 +1,49 @@
+// Known-bad fixture: a WAL frame decoder that reintroduces every panic
+// class the real `lll-wal` record module (`crates/wal/src/record.rs`)
+// must stay free of — hostile length fields, indexing into short
+// buffers, unwraps on checksum math. Mirrors the enforced module's
+// annotation so the linter treats it identically.
+// lll-check: enforce(panic-free-decode)
+
+pub struct Frame {
+    pub lsn: u64,
+    pub payload: Vec<u8>,
+}
+
+pub fn decode_frame(buf: &[u8]) -> Frame {
+    // finding: indexing — a torn 7-byte tail panics right here
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    // finding: `.unwrap()` — TryInto fails on a short slice
+    let crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    // finding: truncating cast — a hostile 64-bit length silently wraps
+    let body_len = (buf.len() as u64 - 8) as u32;
+    if len != body_len {
+        // finding: panic! — torn frames are data, not bugs
+        panic!("frame length mismatch: {len} vs {body_len}");
+    }
+    // finding: `.expect()` — an empty body is a torn frame, not a bug
+    let (lsn_bytes, payload) = buf[8..].split_first_chunk::<8>().expect("body too short");
+    let lsn = u64::from_le_bytes(*lsn_bytes);
+    if crc == 0 {
+        // finding: unreachable! — a zero checksum is reachable from disk
+        unreachable!("CRC cannot be zero");
+    }
+    Frame { lsn, payload: payload.to_vec() }
+}
+
+pub fn not_flagged(buf: &[u8]) -> u64 {
+    // Bounds-checked access, widening casts, and defaulted parses are the
+    // sanctioned shapes.
+    let first = buf.first().copied().unwrap_or(0);
+    u64::from(first) + buf.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    // Test modules are exempt: unwrap freely.
+    #[test]
+    fn torn_tail() {
+        let buf: Vec<u8> = Vec::new();
+        assert!(buf.first().copied().unwrap_or(0xAB) == 0xAB);
+    }
+}

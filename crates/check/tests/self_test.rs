@@ -35,6 +35,16 @@ fn flags_panic_free_violations() {
 }
 
 #[test]
+fn flags_wal_decode_regressions() {
+    let diags = run("bad_wal_decode.rs");
+    // 7 index expressions (4 header bytes, the unwrap line's slice, the
+    // expect line's slice — see the fixture), unwrap, expect, panic!,
+    // unreachable!, truncating cast
+    assert_eq!(count(&diags, RULE_PANIC_FREE), 11, "{diags:#?}");
+    assert_eq!(diags.len(), 11, "only panic-free findings expected: {diags:#?}");
+}
+
+#[test]
 fn flags_lock_order_violations() {
     let diags = run("bad_lock_order.rs");
     // nested shard locks, directory under shard, raw .read() bypass
@@ -117,6 +127,7 @@ fn good_fixture_is_silent() {
 fn cli_exits_nonzero_on_every_bad_fixture() {
     let bad = [
         "bad_panic_free.rs",
+        "bad_wal_decode.rs",
         "bad_lock_order.rs",
         "bad_lock_order_rcu.rs",
         "bad_unsafe.rs",

@@ -513,6 +513,9 @@ pub enum TraceKind {
     Snapshot = 6,
     /// A server drain began.
     Drain = 7,
+    /// A WAL checkpoint: `a` = the checkpoint LSN, `b` = entries in the
+    /// snapshot, `c` = log segments truncated away.
+    Checkpoint = 8,
 }
 
 impl TraceKind {
@@ -526,6 +529,7 @@ impl TraceKind {
             5 => Self::Merge,
             6 => Self::Snapshot,
             7 => Self::Drain,
+            8 => Self::Checkpoint,
             _ => return None,
         })
     }
@@ -540,6 +544,7 @@ impl TraceKind {
             Self::Merge => "merge",
             Self::Snapshot => "snapshot",
             Self::Drain => "drain",
+            Self::Checkpoint => "checkpoint",
         }
     }
 }

@@ -127,8 +127,28 @@ fn handle(request: Request, shared: &Shared) -> (Response, bool) {
             )
         }
         Request::Get(key) => (Response::Value(map.get(&key)), false),
-        Request::Insert(key, value) => (Response::Value(map.insert(key, value)), false),
-        Request::Remove(key) => (Response::Value(map.remove(&key)), false),
+        Request::Insert(key, value) => {
+            // Durable mode: log-then-apply; the ack below is only written
+            // after the record is (policy-)durable. Plain mode: in-memory.
+            let resp = match &shared.durable {
+                Some(d) => match d.insert(key, value) {
+                    Ok(prev) => Response::Value(prev),
+                    Err(e) => Response::Error(format!("wal insert: {e}")),
+                },
+                None => Response::Value(map.insert(key, value)),
+            };
+            (resp, false)
+        }
+        Request::Remove(key) => {
+            let resp = match &shared.durable {
+                Some(d) => match d.remove(&key) {
+                    Ok(prev) => Response::Value(prev),
+                    Err(e) => Response::Error(format!("wal remove: {e}")),
+                },
+                None => Response::Value(map.remove(&key)),
+            };
+            (resp, false)
+        }
         Request::Contains(key) => (Response::Bool(map.contains_key(&key)), false),
         Request::Range { start, end, limit } => {
             let lo = match &start {
@@ -145,10 +165,32 @@ fn handle(request: Request, shared: &Shared) -> (Response, bool) {
         }
         Request::BatchInsert(entries) => {
             let received = entries.len() as u64;
-            let landed = map.extend_from_unsorted(entries) as u64;
-            (Response::Batched { received, landed }, false)
+            let resp = match &shared.durable {
+                Some(d) => match d.batch_insert(entries) {
+                    Ok(landed) => Response::Batched { received, landed: landed as u64 },
+                    Err(e) => Response::Error(format!("wal batch_insert: {e}")),
+                },
+                None => {
+                    let landed = map.extend_from_unsorted(entries) as u64;
+                    Response::Batched { received, landed }
+                }
+            };
+            (resp, false)
         }
-        Request::Snapshot { path } => (snapshot_to(map, &path), false),
+        Request::Snapshot { path } => {
+            // In durable mode the verb is a checkpoint: snapshot into the
+            // WAL directory + log truncation. A non-empty path still gets
+            // the portable snapshot stream, on top.
+            let resp = match &shared.durable {
+                Some(d) => match d.checkpoint() {
+                    Ok(_) if path.is_empty() => Response::Ok,
+                    Ok(_) => snapshot_to(map, &path),
+                    Err(e) => Response::Error(format!("checkpoint: {e}")),
+                },
+                None => snapshot_to(map, &path),
+            };
+            (resp, false)
+        }
         Request::Drain { final_snapshot } => {
             if let Some(path) = final_snapshot {
                 // A failed final snapshot refuses the drain: the operator
@@ -214,11 +256,25 @@ fn metrics_reply(shared: &Shared) -> MetricsReply {
     push_sample(&mut text, "lll_shard_splits_total", &[], stats.splits);
     push_meta(&mut text, "lll_shard_merges_total", "counter", "Shard merges since construction");
     push_sample(&mut text, "lll_shard_merges_total", &[], stats.merges);
+    let (wal_appends, wal_fsyncs, wal_rotations, wal_truncated_segments, wal_durable_lsn) =
+        match &shared.durable {
+            Some(d) => {
+                let wm = d.wal().metrics();
+                (
+                    wm.appends.get(),
+                    wm.fsyncs.get(),
+                    wm.rotations.get(),
+                    wm.truncated_segments.get(),
+                    d.wal().durable_lsn(),
+                )
+            }
+            None => (0, 0, 0, 0, 0),
+        };
     MetricsReply {
-        // Version 2: the optimistic-read-path counters joined the reply
-        // (and the registry exposition, via the shared instruments the
-        // server adopts from the map at startup).
-        version: 2,
+        // Version 3: the WAL counters joined the reply (version 2 added
+        // the optimistic-read-path counters; both field sets also ride
+        // the registry exposition via shared instruments).
+        version: 3,
         verbs,
         shard_lens: stats.shard_lens.iter().map(|&l| l as u64).collect(),
         shard_reads: stats.shard_reads,
@@ -230,6 +286,11 @@ fn metrics_reply(shared: &Shared) -> MetricsReply {
         read_optimistic_hits: stats.read_optimistic_hits,
         read_retries: stats.read_retries,
         read_lock_fallbacks: stats.read_lock_fallbacks,
+        wal_appends,
+        wal_fsyncs,
+        wal_rotations,
+        wal_truncated_segments,
+        wal_durable_lsn,
         text,
     }
 }

@@ -22,13 +22,15 @@
 //! never trusted for allocation — `body_len` is checked against
 //! [`MAX_FRAME_LEN`] before any reservation ([`WireError::FrameTooLarge`]),
 //! and inside a body, byte-string reservations are capped at
-//! [`PREALLOC_CAP`] and grow only as bytes actually arrive. A stream that ends mid-frame is
+//! [`PREALLOC_CAP`](lll_api::codec::PREALLOC_CAP) and grow only as bytes
+//! actually arrive. A stream that ends mid-frame is
 //! [`WireError::Truncated`], never a hang on a lying length.
 
 // lll-check: enforce(panic-free-decode)
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use lll_api::persist::{decode_len, Codec, SnapshotError, PREALLOC_CAP};
+use lll_api::codec::decode_framed_bytes;
+use lll_api::persist::{Codec, SnapshotError};
 use std::fmt;
 use std::io::{ErrorKind, Read, Write};
 
@@ -214,16 +216,12 @@ pub fn encode_bytes<W: Write + ?Sized>(w: &mut W, bytes: &[u8]) -> Result<(), Wi
     Ok(())
 }
 
-/// Decode a byte string written by [`encode_bytes`]. The reservation is
-/// capped; a lying length hits end-of-body → [`WireError::Truncated`].
+/// Decode a byte string written by [`encode_bytes`]. The shared
+/// [`decode_framed_bytes`] caps the reservation at
+/// [`PREALLOC_CAP`](lll_api::codec::PREALLOC_CAP); a lying length hits
+/// end-of-body → [`WireError::Truncated`].
 pub fn decode_bytes<R: Read + ?Sized>(r: &mut R) -> Result<Vec<u8>, WireError> {
-    let len = decode_len(r)?;
-    let mut bytes = Vec::with_capacity(len.min(PREALLOC_CAP));
-    let got = r.take(len as u64).read_to_end(&mut bytes)?;
-    if got < len {
-        return Err(WireError::Truncated);
-    }
-    Ok(bytes)
+    Ok(decode_framed_bytes(r)?)
 }
 
 /// Encode `Option<&[u8]>` as a presence byte + the bytes.

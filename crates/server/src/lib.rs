@@ -60,7 +60,7 @@ pub use proto::{
     HealthReply, MetricsReply, Request, Response, StatsReply, TraceEventWire, TraceReply,
     VerbLatency, VERBS,
 };
-pub use server::{KvMap, Server, ServerConfig, ServerHandle};
+pub use server::{DurableKvMap, KvMap, Server, ServerConfig, ServerHandle};
 
 // Compile-time thread-safety audit: the handle is held on one thread
 // while workers serve on others, and tests drain from spawned threads.

@@ -221,6 +221,19 @@ pub struct MetricsReply {
     pub read_retries: u64,
     /// Reads that fell back to a blocking shard lock (since version 2).
     pub read_lock_fallbacks: u64,
+    /// WAL records appended (since version 3; zero when the server is
+    /// not in durable mode).
+    pub wal_appends: u64,
+    /// WAL `fdatasync` calls (since version 3; zero when not durable).
+    pub wal_fsyncs: u64,
+    /// WAL segment rotations (since version 3; zero when not durable).
+    pub wal_rotations: u64,
+    /// WAL segments deleted by checkpoint truncation (since version 3;
+    /// zero when not durable).
+    pub wal_truncated_segments: u64,
+    /// Highest fsync-durable LSN (since version 3; zero when not
+    /// durable).
+    pub wal_durable_lsn: u64,
     /// Prometheus text exposition of everything above.
     pub text: String,
 }
@@ -337,6 +350,11 @@ impl Codec for MetricsReply {
         self.read_optimistic_hits.encode(w)?;
         self.read_retries.encode(w)?;
         self.read_lock_fallbacks.encode(w)?;
+        self.wal_appends.encode(w)?;
+        self.wal_fsyncs.encode(w)?;
+        self.wal_rotations.encode(w)?;
+        self.wal_truncated_segments.encode(w)?;
+        self.wal_durable_lsn.encode(w)?;
         self.text.encode(w)
     }
 
@@ -354,6 +372,11 @@ impl Codec for MetricsReply {
             read_optimistic_hits: u64::decode(r)?,
             read_retries: u64::decode(r)?,
             read_lock_fallbacks: u64::decode(r)?,
+            wal_appends: u64::decode(r)?,
+            wal_fsyncs: u64::decode(r)?,
+            wal_rotations: u64::decode(r)?,
+            wal_truncated_segments: u64::decode(r)?,
+            wal_durable_lsn: u64::decode(r)?,
             text: String::decode(r)?,
         })
     }

@@ -27,7 +27,8 @@
 use crate::conn;
 use crate::proto::VERBS;
 use lll_obs::{Histogram, Registry, TraceRing};
-use lll_sharded::ShardedMap;
+use lll_sharded::{ShardedBuilder, ShardedMap};
+use lll_wal::{DurableMap, DurableOptions, DurableRecovery, WalError};
 use std::collections::VecDeque;
 use std::io::{self, BufWriter, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -39,6 +40,10 @@ use std::time::Duration;
 /// The concrete map a server serves: opaque byte keys and values in
 /// lexicographic key order.
 pub type KvMap = ShardedMap<Vec<u8>, Vec<u8>>;
+
+/// The durable flavor of [`KvMap`]: the same map behind a write-ahead
+/// log (see [`Server::start_durable`]).
+pub type DurableKvMap = DurableMap<Vec<u8>, Vec<u8>>;
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Clone, Debug)]
@@ -84,7 +89,7 @@ pub(crate) struct ServerObs {
 }
 
 impl ServerObs {
-    fn new(map: &KvMap) -> Self {
+    fn new(map: &KvMap, durable: Option<&DurableKvMap>) -> Self {
         let mut registry = Registry::new();
         let verbs = VERBS
             .iter()
@@ -122,6 +127,42 @@ impl ServerObs {
             "Retry attempts per contended optimistic read",
             rp.retry_histogram,
         );
+        // A durable server also adopts the WAL's live instruments — same
+        // pattern: the log records into its own atomics, the registry
+        // exposes the identical cells.
+        if let Some(durable) = durable {
+            let wm = durable.wal().metrics().clone();
+            registry.register_counter_shared(
+                "lll_wal_appends_total",
+                "WAL records appended (staged for group commit)",
+                wm.appends,
+            );
+            registry.register_counter_shared(
+                "lll_wal_fsyncs_total",
+                "fdatasync calls issued by the WAL flusher",
+                wm.fsyncs,
+            );
+            registry.register_counter_shared(
+                "lll_wal_rotations_total",
+                "WAL segment rotations",
+                wm.rotations,
+            );
+            registry.register_counter_shared(
+                "lll_wal_truncated_segments_total",
+                "WAL segments deleted by checkpoint truncation",
+                wm.truncated_segments,
+            );
+            registry.register_histogram_shared(
+                "lll_wal_group_size",
+                "Records made durable per fsync (group-commit batch size)",
+                wm.group_size,
+            );
+            registry.register_histogram_shared(
+                "lll_wal_fsync_latency_ns",
+                "WAL fdatasync latency, nanoseconds",
+                wm.fsync_latency_ns,
+            );
+        }
         Self { registry, verbs, trace: map.trace() }
     }
 
@@ -134,6 +175,9 @@ impl ServerObs {
 /// State shared by the accept loop, the workers, and the handle.
 pub(crate) struct Shared {
     pub(crate) map: Arc<KvMap>,
+    /// Present when the server runs in durable mode: mutating verbs are
+    /// routed through the log, and `snapshot` becomes a checkpoint.
+    pub(crate) durable: Option<Arc<DurableKvMap>>,
     pub(crate) cfg: ServerConfig,
     pub(crate) addr: SocketAddr,
     pub(crate) draining: AtomicBool,
@@ -179,14 +223,44 @@ pub struct Server;
 impl Server {
     /// Bind `cfg.addr` and start serving `map`. Returns once the listener
     /// is live; serving happens on background threads owned by the
-    /// returned [`ServerHandle`].
+    /// returned [`ServerHandle`]. Mutations live only in memory — for
+    /// crash durability see [`start_durable`](Self::start_durable).
     pub fn start(map: Arc<KvMap>, cfg: ServerConfig) -> io::Result<ServerHandle> {
+        Self::start_inner(map, None, cfg)
+    }
+
+    /// Start in **durable mode**: recover (or create) a
+    /// [`DurableKvMap`] in `dir` — newest valid checkpoint plus WAL
+    /// replay — and serve it with every `insert`/`remove`/`batch_insert`
+    /// logged (and, under the default
+    /// [`FsyncPolicy::Always`](lll_wal::FsyncPolicy::Always), fsynced)
+    /// *before* the response is sent. The `snapshot` verb becomes a
+    /// checkpoint: snapshot + log truncation. Returns the handle and
+    /// what recovery found.
+    pub fn start_durable(
+        dir: impl AsRef<std::path::Path>,
+        opts: DurableOptions,
+        builder: &ShardedBuilder,
+        cfg: ServerConfig,
+    ) -> Result<(ServerHandle, DurableRecovery), WalError> {
+        let (durable, recovery) = DurableKvMap::open(dir, opts, builder)?;
+        let map = Arc::clone(durable.map());
+        let handle = Self::start_inner(map, Some(Arc::new(durable)), cfg).map_err(WalError::Io)?;
+        Ok((handle, recovery))
+    }
+
+    fn start_inner(
+        map: Arc<KvMap>,
+        durable: Option<Arc<DurableKvMap>>,
+        cfg: ServerConfig,
+    ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(resolve(&cfg.addr)?)?;
         let addr = listener.local_addr()?;
         let workers = cfg.workers.max(1);
-        let obs = ServerObs::new(&map);
+        let obs = ServerObs::new(&map, durable.as_deref());
         let shared = Arc::new(Shared {
             map,
+            durable,
             cfg,
             addr,
             draining: AtomicBool::new(false),
@@ -269,6 +343,13 @@ impl ServerHandle {
     /// can inspect state without a connection.
     pub fn map(&self) -> &Arc<KvMap> {
         &self.shared.map
+    }
+
+    /// The durable layer, when the server was started with
+    /// [`Server::start_durable`] — for checkpointing, WAL metrics, and
+    /// audit from process-local ops tooling.
+    pub fn durable(&self) -> Option<&Arc<DurableKvMap>> {
+        self.shared.durable.as_ref()
     }
 
     /// True once a drain has begun.

@@ -56,7 +56,7 @@ fn all_responses() -> Vec<Response> {
         }),
         Response::Error("bad day".to_string()),
         Response::Metrics(lll_server::MetricsReply {
-            version: 2,
+            version: 3,
             verbs: vec![lll_server::VerbLatency {
                 verb: "get".to_string(),
                 count: 42,
@@ -75,6 +75,11 @@ fn all_responses() -> Vec<Response> {
             read_optimistic_hits: 12000,
             read_retries: 64,
             read_lock_fallbacks: 3,
+            wal_appends: 4242,
+            wal_fsyncs: 99,
+            wal_rotations: 7,
+            wal_truncated_segments: 5,
+            wal_durable_lsn: 4240,
             text: "# TYPE lll_server_request_latency_ns histogram\n".to_string(),
         }),
         Response::Metrics(lll_server::MetricsReply::default()),

@@ -348,7 +348,7 @@ fn metrics_verb_reports_latencies_shards_and_trace() {
     c.remove(&kv(0).0).unwrap();
 
     let m = c.metrics().unwrap();
-    assert_eq!(m.version, 2);
+    assert_eq!(m.version, 3);
 
     // Per-verb accounting matches exactly what this (sole) client sent,
     // in VERBS order.
@@ -419,4 +419,64 @@ fn metrics_verb_reports_latencies_shards_and_trace() {
     assert!(t.events.windows(2).all(|w| w[0].seq < w[1].seq), "events sorted by seq");
 
     server.shutdown();
+}
+
+#[test]
+fn durable_mode_survives_restart_and_checkpoints_over_the_wire() {
+    use lll_wal::{DurableOptions, FsyncPolicy, WalOptions};
+
+    let dir = std::env::temp_dir().join(format!("lll_srv_durable_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = || DurableOptions {
+        wal: WalOptions { fsync: FsyncPolicy::Always, segment_bytes: 4 << 10 },
+        keep_checkpoints: 2,
+    };
+    let builder = ShardedBuilder::new().max_shard_len(64).min_shard_len(8).seed(77);
+
+    // Session 1: write through the wire, checkpoint via the snapshot
+    // verb, write more, stop WITHOUT a graceful drain snapshot.
+    {
+        let (mut server, rec) =
+            Server::start_durable(&dir, opts(), &builder, ServerConfig::default())
+                .expect("open durable server");
+        assert_eq!(rec.entries, 0);
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        let entries: Vec<_> = (0..200).map(kv).collect();
+        assert_eq!(c.batch_insert(entries).unwrap(), 200);
+        assert_eq!(c.insert(b"solo", b"one").unwrap(), None);
+        assert_eq!(c.remove(&kv(7).0).unwrap().as_deref(), Some(&kv(7).1[..]));
+        // The snapshot verb is a checkpoint in durable mode: no path
+        // needed, the state lands in the WAL directory.
+        c.snapshot("").unwrap();
+        assert!(server.durable().unwrap().checkpoint_lsn() > 0);
+        assert_eq!(c.insert(b"after-checkpoint", b"yes").unwrap(), None);
+
+        // The wire metrics carry the WAL counters.
+        let m = c.metrics().unwrap();
+        assert_eq!(m.version, 3);
+        assert!(m.wal_appends >= 4, "batch + 2 inserts + remove: {}", m.wal_appends);
+        assert!(m.wal_fsyncs > 0);
+        assert!(m.wal_durable_lsn >= m.wal_appends);
+        assert!(m.text.contains("# TYPE lll_wal_appends_total counter"), "{}", m.text);
+        assert!(m.text.contains("lll_wal_fsyncs_total"), "{}", m.text);
+        server.shutdown();
+    }
+
+    // Session 2: everything acked in session 1 — checkpointed or only
+    // logged — is back.
+    {
+        let (mut server, rec) =
+            Server::start_durable(&dir, opts(), &builder, ServerConfig::default())
+                .expect("recover durable server");
+        assert!(rec.checkpoint_lsn > 0, "recovery must land on the checkpoint");
+        assert_eq!(rec.entries, 201); // 200 batch - 1 remove + solo + after-checkpoint
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(c.get(b"solo").unwrap().as_deref(), Some(&b"one"[..]));
+        assert_eq!(c.get(b"after-checkpoint").unwrap().as_deref(), Some(&b"yes"[..]));
+        assert_eq!(c.get(&kv(7).0).unwrap(), None);
+        assert_eq!(c.get(&kv(8).0).unwrap().as_deref(), Some(&kv(8).1[..]));
+        assert_eq!(c.health().unwrap().len, 201);
+        server.shutdown();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
 }

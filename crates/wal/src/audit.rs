@@ -1,0 +1,206 @@
+//! Offline audit and repair of a WAL directory.
+//!
+//! [`Wal::open`](crate::Wal::open) auto-heals only the one kind of damage
+//! a crash produces — a torn tail on the *last* segment. Anything else
+//! (a torn frame mid-chain, a foreign file wearing a segment name, a
+//! missing segment) means bytes were lost or mangled *after* they were
+//! durable, and silently truncating there would turn a detectable fault
+//! into invisible data loss. So `open` refuses, and this module is the
+//! explicit path:
+//!
+//! * [`audit`] walks the chain read-only and reports every segment's
+//!   health, the first point of damage, and any LSN gaps.
+//! * [`repair`] truncates the chain at the first damage — cutting the
+//!   damaged segment back to its last valid record and deleting every
+//!   segment after it — accepting the loss the report quantifies.
+//!
+//! The repair runbook in `docs/wal.md` walks through reading a report.
+
+use crate::segment::{list_segments, scan_segment, SEGMENT_HEADER_LEN};
+use crate::WalError;
+use std::path::{Path, PathBuf};
+
+/// One segment's health, as [`audit`] saw it.
+#[derive(Clone, Debug)]
+pub struct SegmentAudit {
+    /// The segment file.
+    pub path: PathBuf,
+    /// Base LSN from the file name.
+    pub base_lsn: u64,
+    /// Whole, checksum-verified records.
+    pub records: u64,
+    /// LSN of the last valid record, if any.
+    pub last_lsn: Option<u64>,
+    /// Bytes up to the first damage (file length when clean).
+    pub valid_len: u64,
+    /// Physical file length.
+    pub file_len: u64,
+    /// What is wrong with this segment, if anything — a human-readable
+    /// rendering of the torn reason, magic/version mismatch, or
+    /// name/header disagreement.
+    pub problem: Option<String>,
+}
+
+/// What [`audit`] found across the whole chain.
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    /// Every segment, in base-LSN order.
+    pub segments: Vec<SegmentAudit>,
+    /// Valid records across the chain, up to the first damage.
+    pub records: u64,
+    /// The last valid LSN before any damage (0 when none are valid).
+    pub last_lsn: u64,
+    /// Index into `segments` of the first damaged segment, if any.
+    pub first_damage: Option<usize>,
+    /// LSN gaps between consecutive healthy segments, as
+    /// `(last LSN before the hole, first LSN after it)`.
+    pub gaps: Vec<(u64, u64)>,
+}
+
+impl AuditReport {
+    /// No damage, no gaps: [`Wal::open`](crate::Wal::open) will succeed
+    /// with at most a crash-normal torn-tail truncation (which `audit`
+    /// also reports as damage — on the *last* segment — so a healthy
+    /// report means a byte-perfect chain).
+    pub fn healthy(&self) -> bool {
+        self.first_damage.is_none() && self.gaps.is_empty()
+    }
+}
+
+/// What [`repair`] did.
+#[derive(Clone, Debug, Default)]
+pub struct RepairReport {
+    /// The segment truncated back to its last valid record, if any.
+    pub truncated: Option<PathBuf>,
+    /// Bytes cut from it.
+    pub truncated_bytes: u64,
+    /// Segments deleted outright (damaged beyond their header, or
+    /// stranded past the first damage / gap).
+    pub removed: Vec<PathBuf>,
+    /// The last LSN that survives.
+    pub last_lsn: u64,
+}
+
+impl RepairReport {
+    /// Did repair change anything on disk?
+    pub fn changed(&self) -> bool {
+        self.truncated.is_some() || !self.removed.is_empty()
+    }
+}
+
+fn audit_one(base_from_name: u64, path: &Path) -> Result<SegmentAudit, WalError> {
+    let mut out = SegmentAudit {
+        path: path.to_path_buf(),
+        base_lsn: base_from_name,
+        records: 0,
+        last_lsn: None,
+        valid_len: 0,
+        file_len: std::fs::metadata(path).map_err(WalError::Io)?.len(),
+        problem: None,
+    };
+    match scan_segment(path) {
+        Ok(scan) => {
+            out.records = scan.records;
+            out.last_lsn = scan.last_lsn;
+            out.valid_len = scan.valid_len;
+            out.file_len = scan.file_len;
+            if scan.valid_len > 0 && scan.base_lsn != base_from_name {
+                out.problem = Some(format!(
+                    "file name says base {base_from_name} but header says {}",
+                    scan.base_lsn
+                ));
+                out.valid_len = 0;
+                out.records = 0;
+                out.last_lsn = None;
+            } else if let Some(reason) = scan.torn {
+                out.problem = Some(reason.to_string());
+            }
+        }
+        // Foreign or future files are damage to report, not I/O failure.
+        Err(e @ (WalError::BadMagic { .. } | WalError::UnsupportedVersion { .. })) => {
+            out.problem = Some(e.to_string());
+        }
+        Err(e) => return Err(e),
+    }
+    Ok(out)
+}
+
+/// Walk every segment in `dir` read-only and report the chain's health.
+/// `Err` means the walk itself failed (I/O); damage is *in* the report.
+pub fn audit(dir: impl AsRef<Path>) -> Result<AuditReport, WalError> {
+    let mut report = AuditReport::default();
+    let mut next_expected: Option<u64> = None;
+    for (base, path) in list_segments(dir.as_ref())? {
+        let seg = audit_one(base, &path)?;
+        let idx = report.segments.len();
+        let damaged = seg.problem.is_some();
+        if report.first_damage.is_none() {
+            if let Some(expected) = next_expected {
+                if seg.base_lsn > expected {
+                    report.gaps.push((expected - 1, seg.base_lsn));
+                }
+            }
+            report.records += seg.records;
+            if let Some(l) = seg.last_lsn {
+                report.last_lsn = l;
+            }
+            if damaged {
+                report.first_damage = Some(idx);
+            }
+            next_expected = Some(seg.base_lsn + seg.records);
+        }
+        report.segments.push(seg);
+    }
+    Ok(report)
+}
+
+/// Truncate the chain at its first damage or gap, accepting the loss:
+/// the damaged segment is cut back to its last valid record (deleted
+/// outright if nothing valid survives its header), and every segment
+/// after the cut — including those stranded past a gap — is deleted.
+/// After repair, [`Wal::open`](crate::Wal::open) succeeds and
+/// [`audit`] reports healthy.
+pub fn repair(dir: impl AsRef<Path>) -> Result<RepairReport, WalError> {
+    let report = audit(&dir)?;
+    let mut out = RepairReport { last_lsn: report.last_lsn, ..Default::default() };
+
+    // The cut point: the first damaged segment, or the first segment past
+    // a gap, whichever comes first in the chain.
+    let first_past_gap = report.gaps.first().map(|&(_, next)| {
+        report.segments.iter().position(|s| s.base_lsn == next).unwrap_or(report.segments.len())
+    });
+    let cut = match (report.first_damage, first_past_gap) {
+        (Some(d), Some(g)) => d.min(g),
+        (Some(d), None) => d,
+        (None, Some(g)) => g,
+        (None, None) => return Ok(out),
+    };
+
+    // What survives: the cut segment's valid prefix (if it has one and is
+    // the damaged segment — a healthy segment stranded past a gap is
+    // removed whole), plus everything before the cut.
+    out.last_lsn = report.segments.iter().take(cut).rev().find_map(|s| s.last_lsn).unwrap_or(0);
+
+    for (idx, seg) in report.segments.iter().enumerate() {
+        if idx < cut {
+            continue;
+        }
+        let keeps_records =
+            idx == cut && seg.problem.is_some() && seg.valid_len > SEGMENT_HEADER_LEN;
+        if keeps_records {
+            let f =
+                std::fs::OpenOptions::new().write(true).open(&seg.path).map_err(WalError::Io)?;
+            f.set_len(seg.valid_len).map_err(WalError::Io)?;
+            f.sync_data().map_err(WalError::Io)?;
+            out.truncated = Some(seg.path.clone());
+            out.truncated_bytes += seg.file_len - seg.valid_len;
+            if let Some(l) = seg.last_lsn {
+                out.last_lsn = l;
+            }
+        } else {
+            std::fs::remove_file(&seg.path).map_err(WalError::Io)?;
+            out.removed.push(seg.path.clone());
+        }
+    }
+    Ok(out)
+}

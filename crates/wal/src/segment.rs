@@ -1,0 +1,257 @@
+//! Segment files: naming, the per-segment header, and the tolerant scan
+//! that recovery, replay, and audit all share.
+//!
+//! A WAL directory holds a chain of segment files:
+//!
+//! ```text
+//! wal-00000000000000000001.seg      base LSN 1
+//! wal-00000000000000004097.seg      base LSN 4097
+//! …
+//! ```
+//!
+//! Each starts with a 20-byte header — magic, format version, base LSN —
+//! followed by [`record`] frames whose LSNs run
+//! contiguously from the base. A segment's name and its header agree on
+//! the base (checked on every scan), records never straddle segments
+//! (the flusher rotates only at record boundaries), and the chain's
+//! LSNs are contiguous across files — which is what makes truncation at
+//! checkpoint a plain `remove_file` of fully-covered segments.
+
+use crate::record::{self, ReadFrame, TornReason};
+use crate::WalError;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+
+/// The 8-byte magic prefix of every segment file.
+pub const SEGMENT_MAGIC: [u8; 8] = *b"LLLWAL\0\0";
+
+/// The segment format version this build writes and the only one it
+/// reads — version negotiation is fail-fast, as in snapshots.
+pub const WAL_VERSION: u32 = 1;
+
+/// Bytes of segment header (magic + version + base LSN) before the first
+/// record frame.
+pub const SEGMENT_HEADER_LEN: u64 = 20;
+
+/// The file name of the segment whose first record carries `base_lsn`.
+/// Zero-padded to 20 digits so lexicographic directory order is LSN
+/// order.
+pub fn segment_file_name(base_lsn: u64) -> String {
+    format!("wal-{base_lsn:020}.seg")
+}
+
+/// Parse a segment file name back to its base LSN; `None` for anything
+/// that is not a `wal-<20 digits>.seg` name (checkpoints, temp files,
+/// strangers).
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("wal-")?.strip_suffix(".seg")?;
+    if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Every segment in `dir`, sorted by base LSN. Non-segment files are
+/// ignored (the directory also holds checkpoints).
+pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).map_err(WalError::Io)? {
+        let entry = entry.map_err(WalError::Io)?;
+        if let Some(base) = entry.file_name().to_str().and_then(parse_segment_name) {
+            out.push((base, entry.path()));
+        }
+    }
+    out.sort_unstable_by_key(|&(base, _)| base);
+    Ok(out)
+}
+
+/// Serialize a segment header into `buf`.
+pub fn header_bytes(base_lsn: u64) -> [u8; SEGMENT_HEADER_LEN as usize] {
+    let mut out = [0u8; SEGMENT_HEADER_LEN as usize];
+    out[..8].copy_from_slice(&SEGMENT_MAGIC);
+    out[8..12].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    out[12..20].copy_from_slice(&base_lsn.to_le_bytes());
+    out
+}
+
+/// What one pass over a segment found. `valid_len` is the byte offset of
+/// the first damage (or the file length if none) — exactly where repair
+/// truncates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentScan {
+    /// The base LSN the header records (0 when the header itself is torn).
+    pub base_lsn: u64,
+    /// Whole, checksum-verified records read.
+    pub records: u64,
+    /// LSN of the last valid record, if any.
+    pub last_lsn: Option<u64>,
+    /// Bytes up to (not including) the first damage; the file length when
+    /// the segment is clean.
+    pub valid_len: u64,
+    /// The file's physical length.
+    pub file_len: u64,
+    /// The first unusable frame, if the scan stopped early.
+    pub torn: Option<TornReason>,
+}
+
+impl SegmentScan {
+    /// Is every physical byte accounted for by valid header + records?
+    pub fn clean(&self) -> bool {
+        self.torn.is_none() && self.valid_len == self.file_len
+    }
+}
+
+/// Scan a segment, feeding every valid record to `sink` as
+/// `(lsn, payload)`. Stops at the first damage, which is *returned*, not
+/// an error: `Err` means I/O failure, a foreign file ([`WalError::
+/// BadMagic`]), or a future format ([`WalError::UnsupportedVersion`]) —
+/// things truncation must not "repair". A header cut short by a crash
+/// mid-creation *is* damage: reported with `valid_len == 0`.
+pub fn scan_segment_with(
+    path: &Path,
+    mut sink: impl FnMut(u64, Vec<u8>) -> Result<(), WalError>,
+) -> Result<SegmentScan, WalError> {
+    let file = File::open(path).map_err(WalError::Io)?;
+    let file_len = file.metadata().map_err(WalError::Io)?.len();
+    let mut r = BufReader::new(file);
+    let mut header = [0u8; SEGMENT_HEADER_LEN as usize];
+    let got = record::fill(&mut r, &mut header)?;
+    if got < header.len() {
+        return Ok(SegmentScan {
+            base_lsn: 0,
+            records: 0,
+            last_lsn: None,
+            valid_len: 0,
+            file_len,
+            torn: Some(TornReason::TruncatedFrame { have: got as u64, need: SEGMENT_HEADER_LEN }),
+        });
+    }
+    if header[..8] != SEGMENT_MAGIC {
+        return Err(WalError::BadMagic { segment: path.to_path_buf() });
+    }
+    let version = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+    if version != WAL_VERSION {
+        return Err(WalError::UnsupportedVersion { segment: path.to_path_buf(), found: version });
+    }
+    let base_lsn = u64::from_le_bytes([
+        header[12], header[13], header[14], header[15], header[16], header[17], header[18],
+        header[19],
+    ]);
+    let mut scan = SegmentScan {
+        base_lsn,
+        records: 0,
+        last_lsn: None,
+        valid_len: SEGMENT_HEADER_LEN,
+        file_len,
+        torn: None,
+    };
+    loop {
+        match record::read_frame(&mut r)? {
+            ReadFrame::End => break,
+            ReadFrame::Torn(reason) => {
+                scan.torn = Some(reason);
+                break;
+            }
+            ReadFrame::Record { lsn, payload } => {
+                let expected = base_lsn + scan.records;
+                if lsn != expected {
+                    scan.torn = Some(TornReason::NonMonotoneLsn { expected, found: lsn });
+                    break;
+                }
+                scan.valid_len += record::frame_len(payload.len());
+                scan.records += 1;
+                scan.last_lsn = Some(lsn);
+                sink(lsn, payload)?;
+            }
+        }
+    }
+    Ok(scan)
+}
+
+/// [`scan_segment_with`] discarding the payloads — the shape audit and
+/// recovery's structural pass use.
+pub fn scan_segment(path: &Path) -> Result<SegmentScan, WalError> {
+    scan_segment_with(path, |_, _| Ok(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::encode_frame_into;
+    use std::io::Write as _;
+
+    fn write_segment(path: &Path, base: u64, payloads: &[&[u8]]) {
+        let mut bytes = header_bytes(base).to_vec();
+        for (i, p) in payloads.iter().enumerate() {
+            encode_frame_into(&mut bytes, base + i as u64, p).unwrap();
+        }
+        let mut f = File::create(path).unwrap();
+        f.write_all(&bytes).unwrap();
+    }
+
+    #[test]
+    fn names_roundtrip_and_sort() {
+        assert_eq!(segment_file_name(42), "wal-00000000000000000042.seg");
+        assert_eq!(parse_segment_name("wal-00000000000000000042.seg"), Some(42));
+        assert_eq!(parse_segment_name("wal-42.seg"), None);
+        assert_eq!(parse_segment_name("checkpoint-00000000000000000042.snap"), None);
+        assert!(segment_file_name(9) < segment_file_name(10));
+        assert!(segment_file_name(99) < segment_file_name(100));
+    }
+
+    #[test]
+    fn scan_reads_records_and_stops_at_damage() {
+        let dir = std::env::temp_dir().join(format!("lll_wal_seg_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(segment_file_name(5));
+        write_segment(&path, 5, &[b"a", b"bb", b"ccc"]);
+
+        let mut seen = Vec::new();
+        let scan = scan_segment_with(&path, |lsn, p| {
+            seen.push((lsn, p));
+            Ok(())
+        })
+        .unwrap();
+        assert!(scan.clean());
+        assert_eq!(scan.records, 3);
+        assert_eq!(scan.last_lsn, Some(7));
+        assert_eq!(seen, vec![(5, b"a".to_vec()), (6, b"bb".to_vec()), (7, b"ccc".to_vec())]);
+
+        // Tear the tail: chop the last two bytes.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
+        let scan = scan_segment(&path).unwrap();
+        assert_eq!(scan.records, 2);
+        assert!(matches!(scan.torn, Some(TornReason::TruncatedFrame { .. })));
+        assert_eq!(
+            scan.valid_len,
+            bytes[..bytes.len() - 2].len() as u64 - (record::frame_len(3) - 2)
+        );
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_and_future_files_are_hard_errors() {
+        let dir = std::env::temp_dir().join(format!("lll_wal_seg2_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(segment_file_name(1));
+
+        std::fs::write(&path, b"NOTAWAL\0rest of the file").unwrap();
+        assert!(matches!(scan_segment(&path), Err(WalError::BadMagic { .. })));
+
+        let mut future = header_bytes(1).to_vec();
+        future[8] = 9; // version low byte
+        std::fs::write(&path, &future).unwrap();
+        assert!(matches!(scan_segment(&path), Err(WalError::UnsupportedVersion { found: 9, .. })));
+
+        // A header cut short by a crash is damage, not an error.
+        std::fs::write(&path, &header_bytes(1)[..13]).unwrap();
+        let scan = scan_segment(&path).unwrap();
+        assert_eq!(scan.valid_len, 0);
+        assert!(scan.torn.is_some());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,216 @@
+//! DurableMap integration tests: recovery across reopen, checkpoint
+//! truncation and bounded disk under churn, checkpoint fallback, and a
+//! randomized differential against `BTreeMap`.
+
+use lll_sharded::ShardedBuilder;
+use lll_wal::durable::checkpoint_file_name;
+use lll_wal::{DurableMap, DurableOptions, FsyncPolicy, WalError, WalOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lll_durable_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(fsync: FsyncPolicy, segment_bytes: u64) -> DurableOptions {
+    DurableOptions { wal: WalOptions { fsync, segment_bytes }, keep_checkpoints: 2 }
+}
+
+fn builder() -> ShardedBuilder {
+    let mut b = ShardedBuilder::new();
+    b = b.max_shard_len(64).seed(7);
+    b
+}
+
+type Map = DurableMap<u64, String>;
+
+fn open(dir: &PathBuf, fsync: FsyncPolicy, seg: u64) -> (Map, lll_wal::DurableRecovery) {
+    DurableMap::open(dir, opts(fsync, seg), &builder()).unwrap()
+}
+
+#[test]
+fn acked_writes_survive_reopen() {
+    let dir = test_dir("reopen");
+    {
+        let (map, rec) = open(&dir, FsyncPolicy::Always, 8 << 20);
+        assert_eq!(rec.entries, 0);
+        for i in 0u64..500 {
+            map.insert(i, format!("value-{i}")).unwrap();
+        }
+        for i in (0u64..500).step_by(3) {
+            map.remove(&i).unwrap();
+        }
+        map.batch_insert((1000..1100).map(|i| (i, format!("batch-{i}"))).collect()).unwrap();
+    }
+    let (map, rec) = open(&dir, FsyncPolicy::Always, 8 << 20);
+    assert_eq!(rec.checkpoint_lsn, 0);
+    assert_eq!(rec.replayed, 500 + 167 + 1);
+    let m = map.map();
+    assert_eq!(m.len(), 500 - 167 + 100);
+    assert_eq!(m.get(&1), Some("value-1".to_string()));
+    assert_eq!(m.get(&3), None);
+    assert_eq!(m.get(&1050), Some("batch-1050".to_string()));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn batch_insert_is_one_log_record() {
+    let dir = test_dir("batch");
+    let (map, _) = open(&dir, FsyncPolicy::Never, 8 << 20);
+    map.batch_insert((0..1000).map(|i| (i, format!("v{i}"))).collect()).unwrap();
+    assert_eq!(map.wal().last_lsn(), 1);
+    assert_eq!(map.batch_insert(Vec::new()).unwrap(), 0);
+    assert_eq!(map.wal().last_lsn(), 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_truncates_log_and_bounds_disk_under_churn() {
+    let dir = test_dir("churn");
+    let (map, _) = open(&dir, FsyncPolicy::Never, 4 << 10);
+    let mut max_disk = 0u64;
+    let mut checkpoints = 0;
+    for round in 0u64..40 {
+        for i in 0..200 {
+            // Overwrite a bounded key space: live data stays small while
+            // the log alone would grow without bound.
+            map.insert(i % 97, format!("round-{round}-value-{i:06}")).unwrap();
+        }
+        if round % 5 == 4 {
+            let report = map.checkpoint().unwrap();
+            checkpoints += 1;
+            assert_eq!(report.lsn, (round + 1) * 200);
+            assert!(report.truncated_segments > 0, "round {round}: nothing truncated");
+        }
+        max_disk = max_disk.max(map.wal().disk_bytes());
+    }
+    assert!(checkpoints >= 8);
+    // Live state is ~97 short entries; segments are 4 KiB. Without
+    // truncation the log would be ~40·200·45 B ≈ 360 KiB; with periodic
+    // checkpoints the log's share stays within a few segment sizes of the
+    // churn between checkpoints (5 rounds ≈ 45 KiB) at all times.
+    assert!(max_disk < 160 << 10, "disk usage unbounded under churn: peaked at {max_disk} bytes");
+    assert!(map.wal().metrics().truncated_segments.get() > 0);
+
+    // Reopen lands on the newest checkpoint + suffix, not a full replay.
+    drop(map);
+    let (map, rec) = open(&dir, FsyncPolicy::Never, 4 << 10);
+    assert!(rec.checkpoint_lsn > 0);
+    assert_eq!(map.map().len(), 97);
+    assert_eq!(map.checkpoint_lsn(), rec.checkpoint_lsn);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unreadable_newest_checkpoint_falls_back_or_reports_gap() {
+    // Case 1: the log still holds everything since the older checkpoint
+    // (huge segment, never truncated under it) → fallback succeeds.
+    let dir = test_dir("fallback");
+    {
+        let (map, _) = open(&dir, FsyncPolicy::Never, 64 << 20);
+        for i in 0u64..50 {
+            map.insert(i, format!("a{i}")).unwrap();
+        }
+        let first = map.checkpoint().unwrap();
+        assert_eq!(first.truncated_segments, 0); // single active segment
+        for i in 50u64..80 {
+            map.insert(i, format!("b{i}")).unwrap();
+        }
+        let second = map.checkpoint().unwrap();
+        // Corrupt the newest checkpoint file.
+        std::fs::write(dir.join(checkpoint_file_name(second.lsn)), b"garbage").unwrap();
+    }
+    let (map, rec) = open(&dir, FsyncPolicy::Never, 64 << 20);
+    assert_eq!(rec.checkpoints_skipped, 1);
+    assert_eq!(rec.checkpoint_lsn, 50);
+    assert_eq!(map.map().len(), 80);
+    assert_eq!(map.map().get(&79), Some("b79".to_string()));
+    drop(map);
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // Case 2: the log behind the newest checkpoint was truncated, so the
+    // older checkpoint cannot be caught up → a typed Gap, not silent loss.
+    let dir = test_dir("gap");
+    let second_lsn;
+    {
+        let (map, _) = open(&dir, FsyncPolicy::Never, 1 << 10);
+        for i in 0u64..200 {
+            map.insert(i, format!("a-{i:04}")).unwrap();
+        }
+        map.checkpoint().unwrap();
+        for i in 200u64..400 {
+            map.insert(i, format!("b-{i:04}")).unwrap();
+        }
+        let second = map.checkpoint().unwrap();
+        assert!(second.truncated_segments > 0);
+        second_lsn = second.lsn;
+        std::fs::write(dir.join(checkpoint_file_name(second_lsn)), b"garbage").unwrap();
+    }
+    match DurableMap::<u64, String>::open(&dir, opts(FsyncPolicy::Never, 1 << 10), &builder()) {
+        Err(WalError::Gap { after, next }) => assert!(next > after + 1),
+        other => panic!("expected Gap, got {:?}", other.map(|(_, r)| r)),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn differential_against_btreemap_across_reopens_and_checkpoints() {
+    let dir = test_dir("diff");
+    let mut model: BTreeMap<u64, String> = BTreeMap::new();
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    let mut reopens = 0;
+    {
+        let mut map = Some(open(&dir, FsyncPolicy::Never, 8 << 10).0);
+        for step in 0..4000 {
+            let m = map.as_ref().unwrap();
+            let key = rng.gen_range(0u64..500);
+            match rng.gen_range(0u32..10) {
+                0..=5 => {
+                    let v = format!("s{step}");
+                    assert_eq!(m.insert(key, v.clone()).unwrap(), model.insert(key, v));
+                }
+                6..=7 => {
+                    assert_eq!(m.remove(&key).unwrap(), model.remove(&key));
+                }
+                8 => {
+                    let batch: Vec<(u64, String)> = (0..rng.gen_range(1usize..20))
+                        .map(|j| {
+                            let k = rng.gen_range(500u64..600);
+                            (k, format!("b{step}-{j}"))
+                        })
+                        .collect();
+                    m.batch_insert(batch.clone()).unwrap();
+                    for (k, v) in batch {
+                        model.insert(k, v);
+                    }
+                }
+                _ => {
+                    if rng.gen_bool(0.3) {
+                        m.checkpoint().unwrap();
+                    }
+                    if rng.gen_bool(0.2) {
+                        drop(map.take()); // clean shutdown
+                        let (m2, _) = open(&dir, FsyncPolicy::Never, 8 << 10);
+                        map = Some(m2);
+                        reopens += 1;
+                    }
+                }
+            }
+            if step % 500 == 0 {
+                let m = map.as_ref().unwrap();
+                assert_eq!(m.map().to_vec(), model.clone().into_iter().collect::<Vec<_>>());
+            }
+        }
+        assert!(reopens > 0, "differential never exercised reopen");
+        let m = map.as_ref().unwrap();
+        assert_eq!(m.map().to_vec(), model.clone().into_iter().collect::<Vec<_>>());
+    }
+    let (map, _) = open(&dir, FsyncPolicy::Never, 8 << 10);
+    assert_eq!(map.map().to_vec(), model.into_iter().collect::<Vec<_>>());
+    map.map().check_invariants();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

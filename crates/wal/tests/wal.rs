@@ -1,0 +1,347 @@
+//! Log-level integration tests: append/replay across reopen, segment
+//! rotation, torn-tail recovery at **every** possible truncation point,
+//! bit-flip detection, gap refusal, the audit/repair runbook, and the
+//! byte-pinned golden segment fixture.
+
+use lll_wal::{audit, repair, FsyncPolicy, Wal, WalError, WalOptions};
+use std::path::{Path, PathBuf};
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lll_wal_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn opts(segment_bytes: u64) -> WalOptions {
+    WalOptions { fsync: FsyncPolicy::Never, segment_bytes }
+}
+
+fn replay_all(wal: &Wal) -> Vec<(u64, Vec<u8>)> {
+    let mut out = Vec::new();
+    wal.replay(0, |lsn, payload| {
+        out.push((lsn, payload));
+        Ok(())
+    })
+    .unwrap();
+    out
+}
+
+fn segment_files(dir: &Path) -> Vec<PathBuf> {
+    let mut v: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "seg"))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn append_replay_roundtrip_across_reopen() {
+    let dir = test_dir("roundtrip");
+    let payloads: Vec<Vec<u8>> =
+        (0u32..200).map(|i| i.to_le_bytes().repeat(1 + (i as usize % 17))).collect();
+    {
+        let (wal, rec) = Wal::open(&dir, opts(8 << 20)).unwrap();
+        assert_eq!(rec.records, 0);
+        for p in &payloads {
+            wal.append(p).unwrap();
+        }
+        wal.sync().unwrap();
+        assert_eq!(wal.last_lsn(), 200);
+        assert_eq!(wal.durable_lsn(), 200);
+        // Drop syncs and joins the flusher.
+    }
+    let (wal, rec) = Wal::open(&dir, opts(8 << 20)).unwrap();
+    assert_eq!(rec.records, 200);
+    assert_eq!(rec.last_lsn, 200);
+    assert_eq!(rec.truncated_bytes, 0);
+    let replayed = replay_all(&wal);
+    assert_eq!(replayed.len(), 200);
+    for (i, (lsn, p)) in replayed.iter().enumerate() {
+        assert_eq!(*lsn, i as u64 + 1);
+        assert_eq!(p, &payloads[i]);
+    }
+    // A partial replay starts exactly after the requested LSN.
+    let mut tail = Vec::new();
+    wal.replay(150, |lsn, _| {
+        tail.push(lsn);
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(tail, (151..=200).collect::<Vec<_>>());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn rotation_builds_a_contiguous_chain_and_truncation_prunes_it() {
+    let dir = test_dir("rotate");
+    let (wal, _) = Wal::open(&dir, opts(512)).unwrap();
+    for i in 0u32..300 {
+        wal.append(&i.to_le_bytes().repeat(4)).unwrap();
+        if i % 37 == 0 {
+            // Periodic syncs force batch boundaries so rotation actually
+            // triggers mid-run rather than once at the end.
+            wal.sync().unwrap();
+        }
+    }
+    wal.sync().unwrap();
+    let before = segment_files(&dir).len();
+    assert!(before >= 3, "expected several segments, got {before}");
+    assert_eq!(replay_all(&wal).len(), 300);
+    assert!(wal.metrics().rotations.get() >= before as u64 - 1);
+
+    // Truncating through LSN 150 removes fully-covered segments but every
+    // record past 150 survives.
+    let removed = wal.truncate_through(150).unwrap();
+    assert!(removed > 0);
+    assert_eq!(segment_files(&dir).len(), before - removed as usize);
+    let mut tail = Vec::new();
+    wal.replay(150, |lsn, _| {
+        tail.push(lsn);
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(tail, (151..=300).collect::<Vec<_>>());
+    // The active segment is never deleted, even by a full truncation.
+    wal.truncate_through(u64::MAX - 1).unwrap();
+    assert_eq!(segment_files(&dir).len(), 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Build a two-segment log and return (dir, bytes of the last segment).
+fn build_small_log(tag: &str) -> (PathBuf, PathBuf) {
+    let dir = test_dir(tag);
+    let (wal, _) = Wal::open(&dir, opts(256)).unwrap();
+    for i in 0u32..10 {
+        wal.append(format!("record-{i:04}-padding-padding").as_bytes()).unwrap();
+        wal.sync().unwrap();
+    }
+    drop(wal);
+    let segs = segment_files(&dir);
+    assert!(segs.len() >= 2, "need a multi-segment chain, got {}", segs.len());
+    let last = segs.last().unwrap().clone();
+    (dir, last)
+}
+
+#[test]
+fn every_prefix_truncation_of_the_tail_recovers() {
+    let (dir, last) = build_small_log("prefix");
+    let full = std::fs::read(&last).unwrap();
+    let full_records = {
+        let (wal, rec) = Wal::open(&dir, opts(256)).unwrap();
+        drop(wal);
+        rec.records
+    };
+    for cut in 0..full.len() {
+        std::fs::write(&last, &full[..cut]).unwrap();
+        let (wal, rec) = Wal::open(&dir, opts(256)).unwrap();
+        // Whatever survived is a contiguous LSN prefix, replayable with
+        // no panic, and the torn tail is physically gone.
+        let replayed = replay_all(&wal);
+        assert_eq!(replayed.len() as u64, rec.records);
+        for (i, (lsn, _)) in replayed.iter().enumerate() {
+            assert_eq!(*lsn, i as u64 + 1);
+        }
+        assert!(rec.records <= full_records);
+        drop(wal);
+        // Recovery truncated: a second open sees a clean chain.
+        let report = audit(&dir).unwrap();
+        assert!(report.healthy(), "cut={cut}: {report:?}");
+        // Restore the full tail for the next iteration. The tail segment
+        // may have been deleted entirely (cut inside its header).
+        std::fs::write(&last, &full).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bit_flips_in_the_tail_are_detected_never_panic() {
+    let (dir, last) = build_small_log("flip");
+    let full = std::fs::read(&last).unwrap();
+    let baseline = {
+        let (w, r) = Wal::open(&dir, opts(256)).unwrap();
+        drop(w);
+        r
+    };
+    for byte in 0..full.len() {
+        let mut mutated = full.clone();
+        mutated[byte] ^= 0x10;
+        std::fs::write(&last, &mutated).unwrap();
+        // Open either succeeds with ≤ the original record count (damage
+        // truncated) or fails with a typed error (magic/version bytes).
+        match Wal::open(&dir, opts(256)) {
+            Ok((wal, rec)) => {
+                assert!(rec.records <= baseline.records);
+                drop(wal);
+            }
+            Err(
+                WalError::BadMagic { .. }
+                | WalError::UnsupportedVersion { .. }
+                | WalError::Corrupt(_),
+            ) => {}
+            Err(other) => panic!("byte {byte}: unexpected error {other}"),
+        }
+        std::fs::write(&last, &full).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn mid_chain_damage_is_refused_then_repaired() {
+    let (dir, _) = build_small_log("midchain");
+    let segs = segment_files(&dir);
+    let first = &segs[0];
+
+    // Flip a payload byte deep inside the FIRST segment: a crash cannot
+    // do that, so open refuses and points at repair.
+    let bytes = std::fs::read(first).unwrap();
+    let mut mutated = bytes.clone();
+    let target = bytes.len() - 3;
+    mutated[target] ^= 0xFF;
+    std::fs::write(first, &mutated).unwrap();
+    match Wal::open(&dir, opts(256)) {
+        Err(WalError::Corrupt(msg)) => assert!(msg.contains("repair"), "{msg}"),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+
+    // The runbook: audit shows where, repair truncates there, open works.
+    let report = audit(&dir).unwrap();
+    assert!(!report.healthy());
+    assert_eq!(report.first_damage, Some(0));
+    let fixed = repair(&dir).unwrap();
+    assert!(fixed.changed());
+    assert!(!fixed.removed.is_empty()); // later segments are gone
+    assert_eq!(fixed.last_lsn, report.last_lsn);
+    let (wal, rec) = Wal::open(&dir, opts(256)).unwrap();
+    assert_eq!(rec.last_lsn, fixed.last_lsn);
+    assert!(audit(&dir).unwrap().healthy());
+    drop(wal);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_missing_segment_is_a_gap_not_silent_loss() {
+    let dir = test_dir("gap");
+    let (wal, _) = Wal::open(&dir, opts(256)).unwrap();
+    for i in 0u32..24 {
+        wal.append(format!("gap-record-{i:04}-padding!!").as_bytes()).unwrap();
+        wal.sync().unwrap();
+    }
+    drop(wal);
+    let segs = segment_files(&dir);
+    assert!(segs.len() >= 3, "need ≥3 segments, got {}", segs.len());
+    std::fs::remove_file(&segs[1]).unwrap();
+    match Wal::open(&dir, opts(256)) {
+        Err(WalError::Gap { after, next }) => assert!(next > after + 1),
+        other => panic!("expected Gap, got {other:?}"),
+    }
+    let report = audit(&dir).unwrap();
+    assert_eq!(report.gaps.len(), 1);
+    let fixed = repair(&dir).unwrap();
+    assert!(fixed.changed());
+    let (wal, rec) = Wal::open(&dir, opts(256)).unwrap();
+    assert_eq!(rec.last_lsn, fixed.last_lsn);
+    assert!(rec.last_lsn > 0);
+    drop(wal);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fsync_policies_acknowledge_and_sync_as_documented() {
+    for policy in [FsyncPolicy::Always, FsyncPolicy::EveryMillis(5), FsyncPolicy::Never] {
+        let dir = test_dir(match policy {
+            FsyncPolicy::Always => "pol_always",
+            FsyncPolicy::EveryMillis(_) => "pol_timed",
+            FsyncPolicy::Never => "pol_never",
+        });
+        let (wal, _) =
+            Wal::open(&dir, WalOptions { fsync: policy, segment_bytes: 8 << 20 }).unwrap();
+        for i in 0u32..50 {
+            let lsn = wal.append(&i.to_le_bytes()).unwrap();
+            wal.wait_durable(lsn).unwrap();
+            if matches!(policy, FsyncPolicy::Always) {
+                assert!(wal.durable_lsn() >= lsn);
+            }
+        }
+        // Explicit sync is honored under every policy.
+        let synced = wal.sync().unwrap();
+        assert_eq!(synced, 50);
+        assert_eq!(wal.durable_lsn(), 50);
+        if matches!(policy, FsyncPolicy::Always) {
+            assert!(wal.metrics().fsyncs.get() > 0);
+            assert!(wal.metrics().group_size.count() > 0);
+        }
+        drop(wal);
+        let (wal, rec) =
+            Wal::open(&dir, WalOptions { fsync: policy, segment_bytes: 8 << 20 }).unwrap();
+        assert_eq!(rec.records, 50);
+        drop(wal);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn group_commit_batches_concurrent_committers() {
+    let dir = test_dir("group");
+    let (wal, _) = Wal::open(&dir, WalOptions::default()).unwrap();
+    let wal = std::sync::Arc::new(wal);
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let wal = std::sync::Arc::clone(&wal);
+            std::thread::spawn(move || {
+                for i in 0u32..25 {
+                    wal.append_durable(format!("t{t}-{i}").as_bytes()).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(wal.last_lsn(), 200);
+    assert_eq!(wal.durable_lsn(), 200);
+    // With 8 committers the flusher must have amortized: strictly fewer
+    // fsyncs than records.
+    let fsyncs = wal.metrics().fsyncs.get();
+    assert!(fsyncs < 200, "no grouping happened: {fsyncs} fsyncs for 200 records");
+    std::fs::remove_dir_all(wal.dir()).unwrap();
+}
+
+/// The committed golden segment: byte-pinned so any accidental format
+/// change fails loudly. Regenerate (after an *intentional* format bump)
+/// with `cargo test -p lll-wal --test wal regenerate_golden_segment -- --ignored`.
+fn golden_bytes() -> Vec<u8> {
+    let mut bytes = lll_wal::segment::header_bytes(1).to_vec();
+    for (lsn, payload) in [(1u64, &b"alpha"[..]), (2, b"beta"), (3, b"gamma-gamma")] {
+        lll_wal::record::encode_frame_into(&mut bytes, lsn, payload).unwrap();
+    }
+    bytes
+}
+
+fn golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/wal-00000000000000000001.seg")
+}
+
+#[test]
+fn golden_segment_fixture_is_byte_stable() {
+    let committed =
+        std::fs::read(golden_path()).expect("fixture missing — run the regenerate test");
+    assert_eq!(
+        committed,
+        golden_bytes(),
+        "WAL segment encoding changed; if intentional, bump WAL_VERSION and regenerate the fixture"
+    );
+    let scan = lll_wal::segment::scan_segment(&golden_path()).unwrap();
+    assert!(scan.clean());
+    assert_eq!(scan.records, 3);
+    assert_eq!(scan.last_lsn, Some(3));
+}
+
+#[test]
+#[ignore = "writes the committed fixture; run only on intentional format changes"]
+fn regenerate_golden_segment() {
+    std::fs::create_dir_all(golden_path().parent().unwrap()).unwrap();
+    std::fs::write(golden_path(), golden_bytes()).unwrap();
+}

@@ -88,6 +88,7 @@ pub use lll_embedding as embedding;
 pub use lll_predictions as predictions;
 pub use lll_randomized as randomized;
 pub use lll_sharded as sharded;
+pub use lll_wal as wal;
 pub use lll_workloads as workloads;
 
 pub mod prelude {
